@@ -1,0 +1,295 @@
+//! Impression billing and SLA tracking.
+
+use std::collections::HashMap;
+
+use adpf_desim::SimTime;
+
+use crate::campaign::CampaignId;
+use crate::exchange::{AdId, SoldAd};
+
+/// Lifecycle state of one sold ad.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdState {
+    /// Sold, not yet displayed.
+    Pending,
+    /// Displayed before its deadline (billed).
+    Displayed,
+    /// Deadline passed without a display (SLA violation; refunded).
+    Expired,
+}
+
+/// Outcome of reporting an impression to the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImpressionOutcome {
+    /// First in-deadline display: the advertiser is billed.
+    Billed,
+    /// The ad had already been displayed elsewhere (replication duplicate):
+    /// the impression is wasted inventory.
+    Duplicate,
+    /// Displayed after the deadline: wasted, and the SLA was already
+    /// counted as violated.
+    Late,
+    /// The ad id is unknown to the ledger.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    campaign: CampaignId,
+    price: f64,
+    deadline: SimTime,
+    state: AdState,
+    duplicates: u32,
+}
+
+/// Aggregate billing totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LedgerTotals {
+    /// Ads sold.
+    pub sold: u64,
+    /// Ads billed (displayed in time).
+    pub billed: u64,
+    /// Billed revenue, in currency units.
+    pub revenue: f64,
+    /// Value of ads sold (what revenue would be with zero expirations).
+    pub sold_value: f64,
+    /// SLA violations (sold ads that expired undisplayed).
+    pub expired: u64,
+    /// Refunded value of expired ads.
+    pub refunded: f64,
+    /// Duplicate displays caused by replication.
+    pub duplicates: u64,
+    /// Displays that arrived after the deadline.
+    pub late_displays: u64,
+}
+
+impl LedgerTotals {
+    /// SLA violation rate: expired / sold; `0.0` when nothing was sold.
+    pub fn sla_violation_rate(&self) -> f64 {
+        if self.sold == 0 {
+            0.0
+        } else {
+            self.expired as f64 / self.sold as f64
+        }
+    }
+}
+
+/// Tracks every sold ad from sale to display or expiration.
+///
+/// Billing policy (the paper's): the advertiser pays for exactly one
+/// in-deadline display. Replication may cause additional displays on other
+/// clients; those are *not* billed — they consume client slots that could
+/// have shown other paid ads, which is precisely the "revenue loss" the
+/// overbooking model must keep negligible.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    ads: HashMap<AdId, Entry>,
+    totals: LedgerTotals,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a sale.
+    pub fn record_sale(&mut self, ad: &SoldAd) {
+        let prev = self.ads.insert(
+            ad.id,
+            Entry {
+                campaign: ad.campaign,
+                price: ad.price,
+                deadline: ad.deadline,
+                state: AdState::Pending,
+                duplicates: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "ad {} sold twice", ad.id);
+        self.totals.sold += 1;
+        self.totals.sold_value += ad.price;
+    }
+
+    /// Reports a display of `ad` at `at`.
+    pub fn record_impression(&mut self, ad: AdId, at: SimTime) -> ImpressionOutcome {
+        let Some(entry) = self.ads.get_mut(&ad) else {
+            return ImpressionOutcome::Unknown;
+        };
+        match entry.state {
+            AdState::Pending => {
+                if at <= entry.deadline {
+                    entry.state = AdState::Displayed;
+                    self.totals.billed += 1;
+                    self.totals.revenue += entry.price;
+                    ImpressionOutcome::Billed
+                } else {
+                    // The expiry sweep may not have run yet; settle it now.
+                    entry.state = AdState::Expired;
+                    self.totals.expired += 1;
+                    self.totals.refunded += entry.price;
+                    self.totals.late_displays += 1;
+                    ImpressionOutcome::Late
+                }
+            }
+            AdState::Displayed => {
+                entry.duplicates += 1;
+                self.totals.duplicates += 1;
+                ImpressionOutcome::Duplicate
+            }
+            AdState::Expired => {
+                entry.duplicates += 1;
+                self.totals.late_displays += 1;
+                ImpressionOutcome::Late
+            }
+        }
+    }
+
+    /// Expires every pending ad whose deadline is before `now`; returns
+    /// `(ad, campaign, price)` for each so the exchange can refund.
+    pub fn expire_due(&mut self, now: SimTime) -> Vec<(AdId, CampaignId, f64)> {
+        // Collect due ids first and settle them in id order: HashMap
+        // iteration order varies run to run, and settling in it would make
+        // the floating-point refund total (and thus whole-simulation
+        // reports) nondeterministic.
+        let mut due: Vec<AdId> = self
+            .ads
+            .iter()
+            .filter(|(_, e)| e.state == AdState::Pending && e.deadline < now)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_unstable();
+        let mut refunds = Vec::with_capacity(due.len());
+        for id in due {
+            let entry = self.ads.get_mut(&id).expect("collected above");
+            entry.state = AdState::Expired;
+            self.totals.expired += 1;
+            self.totals.refunded += entry.price;
+            refunds.push((id, entry.campaign, entry.price));
+        }
+        refunds
+    }
+
+    /// State of an ad, if known.
+    pub fn state(&self, ad: AdId) -> Option<AdState> {
+        self.ads.get(&ad).map(|e| e.state)
+    }
+
+    /// Current totals.
+    pub fn totals(&self) -> LedgerTotals {
+        self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sold(id: u64, price: f64, deadline_h: u64) -> SoldAd {
+        SoldAd {
+            id: AdId(id),
+            campaign: CampaignId(1),
+            price,
+            deadline: SimTime::from_hours(deadline_h),
+            sold_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn first_display_bills_once() {
+        let mut l = Ledger::new();
+        l.record_sale(&sold(1, 0.002, 4));
+        assert_eq!(
+            l.record_impression(AdId(1), SimTime::from_hours(1)),
+            ImpressionOutcome::Billed
+        );
+        assert_eq!(
+            l.record_impression(AdId(1), SimTime::from_hours(2)),
+            ImpressionOutcome::Duplicate
+        );
+        let t = l.totals();
+        assert_eq!(t.billed, 1);
+        assert_eq!(t.duplicates, 1);
+        assert!((t.revenue - 0.002).abs() < 1e-12);
+        assert_eq!(t.sla_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn expiry_refunds_pending_ads() {
+        let mut l = Ledger::new();
+        l.record_sale(&sold(1, 0.001, 2));
+        l.record_sale(&sold(2, 0.003, 10));
+        let refunds = l.expire_due(SimTime::from_hours(5));
+        assert_eq!(refunds.len(), 1);
+        assert_eq!(refunds[0].0, AdId(1));
+        let t = l.totals();
+        assert_eq!(t.expired, 1);
+        assert!((t.refunded - 0.001).abs() < 1e-12);
+        assert!((t.sla_violation_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(l.state(AdId(1)), Some(AdState::Expired));
+        assert_eq!(l.state(AdId(2)), Some(AdState::Pending));
+    }
+
+    #[test]
+    fn late_display_counts_as_violation_not_revenue() {
+        let mut l = Ledger::new();
+        l.record_sale(&sold(1, 0.002, 1));
+        assert_eq!(
+            l.record_impression(AdId(1), SimTime::from_hours(3)),
+            ImpressionOutcome::Late
+        );
+        let t = l.totals();
+        assert_eq!(t.billed, 0);
+        assert_eq!(t.expired, 1);
+        assert_eq!(t.late_displays, 1);
+        assert_eq!(t.revenue, 0.0);
+    }
+
+    #[test]
+    fn display_exactly_at_deadline_is_billed() {
+        let mut l = Ledger::new();
+        l.record_sale(&sold(1, 0.002, 2));
+        assert_eq!(
+            l.record_impression(AdId(1), SimTime::from_hours(2)),
+            ImpressionOutcome::Billed
+        );
+    }
+
+    #[test]
+    fn unknown_ads_are_flagged() {
+        let mut l = Ledger::new();
+        assert_eq!(
+            l.record_impression(AdId(99), SimTime::ZERO),
+            ImpressionOutcome::Unknown
+        );
+        assert_eq!(l.state(AdId(99)), None);
+    }
+
+    #[test]
+    fn display_on_expired_ad_is_late() {
+        let mut l = Ledger::new();
+        l.record_sale(&sold(1, 0.002, 1));
+        l.expire_due(SimTime::from_hours(2));
+        assert_eq!(
+            l.record_impression(AdId(1), SimTime::from_hours(3)),
+            ImpressionOutcome::Late
+        );
+        // Only one expiration counted even though a display also came late.
+        assert_eq!(l.totals().expired, 1);
+        assert_eq!(l.totals().late_displays, 1);
+    }
+
+    #[test]
+    fn totals_conserve_value() {
+        let mut l = Ledger::new();
+        for i in 0..10 {
+            l.record_sale(&sold(i, 0.001, if i % 2 == 0 { 1 } else { 100 }));
+        }
+        for i in 0..5 {
+            l.record_impression(AdId(2 * i + 1), SimTime::from_hours(3));
+        }
+        l.expire_due(SimTime::from_hours(50));
+        let t = l.totals();
+        assert!((t.revenue + t.refunded - t.sold_value).abs() < 1e-12);
+        assert_eq!(t.billed + t.expired, t.sold);
+    }
+}

@@ -1,0 +1,253 @@
+//! Advertiser campaigns.
+
+use adpf_stats::dist::{Distribution, LogNormal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of an advertiser campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignId(pub u32);
+
+impl core::fmt::Display for CampaignId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// How a campaign bids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidModel {
+    /// Mean per-impression bid, in currency units (a $2 CPM is `0.002`).
+    pub mean_price: f64,
+    /// Coefficient of variation of the bid distribution.
+    pub cv: f64,
+    /// Probability the campaign bids on any given slot (targeting reach).
+    pub participation: f64,
+    /// Contextual targeting: `Some(c)` restricts bidding to slots whose
+    /// app category is *known* to be `c`. Advance-sold slots carry no app
+    /// context, so contextual campaigns sit those auctions out — the
+    /// context cost of prefetching the paper discusses.
+    pub target_category: Option<u8>,
+}
+
+impl BidModel {
+    /// Samples one bid for a slot with the given (possibly unknown) app
+    /// category, or `None` if the campaign sits this slot out.
+    pub fn sample_bid<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        slot_category: Option<u8>,
+    ) -> Option<f64> {
+        if let Some(c) = self.target_category {
+            if slot_category != Some(c) {
+                return None;
+            }
+        }
+        if self.participation < 1.0 && rng.gen::<f64>() >= self.participation {
+            return None;
+        }
+        let dist = LogNormal::from_mean_cv(self.mean_price, self.cv).ok()?;
+        Some(dist.sample(rng))
+    }
+}
+
+/// An advertiser campaign: a budget spent through per-impression bids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Campaign id.
+    pub id: CampaignId,
+    /// Remaining budget, in currency units.
+    pub budget: f64,
+    /// Bidding behaviour.
+    pub bid: BidModel,
+}
+
+impl Campaign {
+    /// Returns `true` while the campaign can still pay `price`.
+    pub fn can_afford(&self, price: f64) -> bool {
+        self.budget >= price
+    }
+
+    /// Debits `price` from the budget (clamped at zero).
+    pub fn debit(&mut self, price: f64) {
+        self.budget = (self.budget - price).max(0.0);
+    }
+
+    /// Credits `price` back (refund after an SLA expiration).
+    pub fn credit(&mut self, price: f64) {
+        self.budget += price;
+    }
+}
+
+/// A synthetic catalog of campaigns with heterogeneous prices and budgets.
+#[derive(Debug, Clone)]
+pub struct CampaignCatalog {
+    campaigns: Vec<Campaign>,
+}
+
+impl CampaignCatalog {
+    /// Number of app categories contextual campaigns can target.
+    pub const NUM_CATEGORIES: u8 = 8;
+
+    /// Generates `n` untargeted campaigns deterministically from `seed`.
+    ///
+    /// Mean bids are lognormal around a $1.5 CPM; budgets span two orders
+    /// of magnitude so some campaigns exhaust mid-trace (as real ones do).
+    pub fn synthetic(n: u32, seed: u64) -> Self {
+        Self::synthetic_with_targeting(n, seed, 0.0, 1.0)
+    }
+
+    /// Generates `n` campaigns of which `contextual_fraction` target one
+    /// app category and bid a `contextual_premium` multiple of their base
+    /// price (targeted impressions are worth more to advertisers).
+    pub fn synthetic_with_targeting(
+        n: u32,
+        seed: u64,
+        contextual_fraction: f64,
+        contextual_premium: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xcafe_f00d);
+        let price_dist = LogNormal::from_mean_cv(0.0015, 0.6).expect("valid price params");
+        let budget_dist = LogNormal::from_mean_cv(2_000.0, 1.5).expect("valid budget params");
+        let campaigns = (0..n)
+            .map(|i| {
+                let contextual = rng.gen::<f64>() < contextual_fraction;
+                let premium = if contextual { contextual_premium } else { 1.0 };
+                Campaign {
+                    id: CampaignId(i),
+                    budget: budget_dist.sample(&mut rng).clamp(50.0, 100_000.0),
+                    bid: BidModel {
+                        mean_price: (premium * price_dist.sample(&mut rng)).clamp(0.0002, 0.05),
+                        cv: rng.gen_range(0.2..0.8),
+                        participation: rng.gen_range(0.3..1.0),
+                        target_category: if contextual {
+                            Some(rng.gen_range(0..Self::NUM_CATEGORIES))
+                        } else {
+                            None
+                        },
+                    },
+                }
+            })
+            .collect();
+        Self { campaigns }
+    }
+
+    /// Number of campaigns.
+    pub fn len(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// Returns `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.campaigns.is_empty()
+    }
+
+    /// Consumes the catalog into its campaigns.
+    pub fn into_campaigns(self) -> Vec<Campaign> {
+        self.campaigns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic_and_heterogeneous() {
+        let a = CampaignCatalog::synthetic(50, 1).into_campaigns();
+        let b = CampaignCatalog::synthetic(50, 1).into_campaigns();
+        assert_eq!(a, b);
+        let prices: Vec<f64> = a.iter().map(|c| c.bid.mean_price).collect();
+        let min = prices.iter().cloned().fold(f64::MAX, f64::min);
+        let max = prices.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 2.0 * min, "prices should spread: {min}..{max}");
+    }
+
+    #[test]
+    fn budget_debit_credit() {
+        let mut c = Campaign {
+            id: CampaignId(0),
+            budget: 1.0,
+            bid: BidModel {
+                mean_price: 0.001,
+                cv: 0.3,
+                participation: 1.0,
+                target_category: None,
+            },
+        };
+        assert!(c.can_afford(0.5));
+        c.debit(0.6);
+        assert!((c.budget - 0.4).abs() < 1e-12);
+        assert!(!c.can_afford(0.5));
+        c.credit(0.6);
+        assert!(c.can_afford(0.5));
+        c.debit(10.0);
+        assert_eq!(c.budget, 0.0);
+    }
+
+    #[test]
+    fn participation_gates_bidding() {
+        let never = BidModel {
+            mean_price: 0.001,
+            cv: 0.3,
+            participation: 0.0,
+            target_category: None,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| never.sample_bid(&mut rng, None).is_none()));
+        let always = BidModel {
+            participation: 1.0,
+            ..never
+        };
+        assert!((0..100).all(|_| always.sample_bid(&mut rng, None).is_some()));
+    }
+
+    #[test]
+    fn bids_are_positive_and_near_mean() {
+        let model = BidModel {
+            mean_price: 0.002,
+            cv: 0.4,
+            participation: 1.0,
+            target_category: None,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let bids: Vec<f64> = (0..10_000)
+            .filter_map(|_| model.sample_bid(&mut rng, None))
+            .collect();
+        assert!(bids.iter().all(|&b| b > 0.0));
+        let mean = bids.iter().sum::<f64>() / bids.len() as f64;
+        assert!((mean - 0.002).abs() < 0.0002, "mean {mean}");
+    }
+
+    #[test]
+    fn contextual_campaigns_only_bid_on_matching_context() {
+        let model = BidModel {
+            mean_price: 0.002,
+            cv: 0.3,
+            participation: 1.0,
+            target_category: Some(3),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..50).all(|_| model.sample_bid(&mut rng, None).is_none()));
+        assert!((0..50).all(|_| model.sample_bid(&mut rng, Some(2)).is_none()));
+        assert!((0..50).all(|_| model.sample_bid(&mut rng, Some(3)).is_some()));
+    }
+
+    #[test]
+    fn targeting_catalog_mixes_campaign_types() {
+        let c = CampaignCatalog::synthetic_with_targeting(200, 9, 0.4, 1.5).into_campaigns();
+        let contextual = c.iter().filter(|c| c.bid.target_category.is_some()).count();
+        assert!(
+            (50..=110).contains(&contextual),
+            "expected ~40% contextual, got {contextual}/200"
+        );
+        for camp in &c {
+            if let Some(cat) = camp.bid.target_category {
+                assert!(cat < CampaignCatalog::NUM_CATEGORIES);
+            }
+        }
+        // Plain `synthetic` stays untargeted.
+        let plain = CampaignCatalog::synthetic(50, 9).into_campaigns();
+        assert!(plain.iter().all(|c| c.bid.target_category.is_none()));
+    }
+}

@@ -1,0 +1,38 @@
+//! Ad exchange substrate.
+//!
+//! Modern mobile advertising sells every impression through a real-time
+//! auction: when a client can display an ad, the ad server offers the slot
+//! to an exchange, advertiser campaigns bid, and the winner's creative is
+//! returned to the client. The paper's contribution changes *when* slots
+//! are offered (in advance, based on predictions) but not *how* they are
+//! sold — so this crate implements the standard machinery the paper builds
+//! on:
+//!
+//! - [`campaign`]: advertiser campaigns with budgets, lognormal bid
+//!   distributions, and participation (targeting reach) probabilities.
+//! - [`exchange`]: a sealed-bid second-price exchange. Slots can be
+//!   offered [`exchange::SlotKind::RealTime`] (display is certain, the
+//!   status quo) or [`exchange::SlotKind::Advance`] (display is predicted;
+//!   sold with a display deadline and a risk discount).
+//! - [`billing`]: a per-ad ledger that bills the first confirmed
+//!   impression, tracks duplicate displays from replication, and records
+//!   SLA expirations (advance-sold ads never shown by their deadline).
+//!
+//! # Examples
+//!
+//! ```
+//! use adpf_auction::{CampaignCatalog, Exchange, SlotOffer};
+//! use adpf_desim::SimTime;
+//!
+//! let mut ex = Exchange::new(CampaignCatalog::synthetic(20, 7).into_campaigns(), 7);
+//! let sold = ex.run_auction(&SlotOffer::realtime(SimTime::ZERO, None));
+//! assert!(sold.is_some(), "a 20-campaign exchange fills a slot");
+//! ```
+
+pub mod billing;
+pub mod campaign;
+pub mod exchange;
+
+pub use billing::{AdState, ImpressionOutcome, Ledger, LedgerTotals};
+pub use campaign::{BidModel, Campaign, CampaignCatalog, CampaignId};
+pub use exchange::{AdId, Exchange, SlotKind, SlotOffer, SoldAd};

@@ -1,0 +1,91 @@
+//! Property-based tests for the exchange and billing ledger.
+
+use adpf_auction::{CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer, SoldAd};
+use adpf_desim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Exchange invariants under arbitrary auction streams: prices respect
+    /// the reserve (scaled by the advance discount), budgets only shrink
+    /// by what was charged, and ids are strictly increasing.
+    #[test]
+    fn exchange_prices_and_budgets(
+        seed in any::<u64>(),
+        campaigns in 1u32..40,
+        auctions in 1usize..300,
+        advance in any::<bool>(),
+    ) {
+        let mut ex = Exchange::new(
+            CampaignCatalog::synthetic(campaigns, seed).into_campaigns(),
+            seed,
+        );
+        let budget_before = ex.total_budget();
+        let offer = if advance {
+            SlotOffer::advance(SimTime::ZERO, SimTime::from_hours(4))
+        } else {
+            SlotOffer::realtime(SimTime::ZERO, None)
+        };
+        let floor = if advance {
+            ex.reserve_price * ex.advance_discount
+        } else {
+            ex.reserve_price
+        };
+        let mut charged = 0.0;
+        let mut last_id = None;
+        for _ in 0..auctions {
+            if let Some(sold) = ex.run_auction(&offer) {
+                prop_assert!(sold.price >= floor - 1e-12, "price {} below floor", sold.price);
+                if let Some(prev) = last_id {
+                    prop_assert!(sold.id > prev);
+                }
+                last_id = Some(sold.id);
+                charged += sold.price;
+            }
+        }
+        prop_assert!((budget_before - ex.total_budget() - charged).abs() < 1e-6);
+    }
+
+    /// Ledger conservation under arbitrary operation interleavings:
+    /// `billed + expired <= sold`, `revenue + refunded == settled value`,
+    /// and every ad settles exactly once.
+    #[test]
+    fn ledger_conserves_value(
+        ops in prop::collection::vec((0u8..3, 0u64..20, 0u64..200), 1..200),
+    ) {
+        let mut ledger = Ledger::new();
+        let mut registered = std::collections::HashSet::new();
+        for (op, ad, hours) in ops {
+            match op {
+                0 => {
+                    if registered.insert(ad) {
+                        ledger.record_sale(&SoldAd {
+                            id: adpf_auction::AdId(ad),
+                            campaign: adpf_auction::CampaignId(1),
+                            price: 0.001 + ad as f64 * 1e-5,
+                            deadline: SimTime::from_hours(hours % 48),
+                            sold_at: SimTime::ZERO,
+                        });
+                    }
+                }
+                1 => {
+                    let outcome =
+                        ledger.record_impression(adpf_auction::AdId(ad), SimTime::from_hours(hours));
+                    if !registered.contains(&ad) {
+                        prop_assert_eq!(outcome, ImpressionOutcome::Unknown);
+                    }
+                }
+                _ => {
+                    ledger.expire_due(SimTime::from_hours(hours));
+                }
+            }
+            let t = ledger.totals();
+            prop_assert!(t.billed + t.expired <= t.sold);
+            prop_assert!(t.revenue + t.refunded <= t.sold_value + 1e-9);
+        }
+        // Settle everything and check exact conservation.
+        ledger.expire_due(SimTime::from_hours(10_000));
+        let t = ledger.totals();
+        prop_assert_eq!(t.billed + t.expired, t.sold);
+        prop_assert!((t.revenue + t.refunded - t.sold_value).abs() < 1e-9);
+    }
+}

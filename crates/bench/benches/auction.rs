@@ -1,0 +1,34 @@
+//! Microbenchmarks of the exchange (substrate of E14a and every system run).
+
+use adpf_auction::{CampaignCatalog, Exchange, SlotOffer};
+use adpf_desim::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_auctions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_auction");
+    for campaigns in [10u32, 50, 200] {
+        g.throughput(Throughput::Elements(1_000));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(campaigns),
+            &campaigns,
+            |b, &n| {
+                let mut ex = Exchange::new(CampaignCatalog::synthetic(n, 7).into_campaigns(), 7);
+                let offer = SlotOffer::realtime(SimTime::ZERO, None);
+                b.iter(|| {
+                    let mut filled = 0u32;
+                    for _ in 0..1_000 {
+                        if ex.run_auction(&offer).is_some() {
+                            filled += 1;
+                        }
+                    }
+                    black_box(filled)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_auctions);
+criterion_main!(benches);

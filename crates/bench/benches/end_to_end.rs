@@ -1,0 +1,26 @@
+//! Macro-benchmark: the full simulator in both delivery modes.
+
+use adpf_bench::Scale;
+use adpf_core::{Simulator, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = Scale::Micro.system_trace(42);
+    let slots = trace.ad_slots(SystemConfig::realtime(1).ad_refresh).len() as u64;
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.throughput(Throughput::Elements(slots));
+    g.bench_function("realtime", |b| {
+        b.iter(|| black_box(Simulator::new(SystemConfig::realtime(1), &trace).run()));
+    });
+    g.bench_function("prefetch", |b| {
+        b.iter(|| black_box(Simulator::new(SystemConfig::prefetch_default(1), &trace).run()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

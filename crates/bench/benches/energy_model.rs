@@ -1,0 +1,57 @@
+//! Microbenchmarks of the radio energy model (substrate of E1/E2/E7).
+
+use adpf_desim::SimTime;
+use adpf_energy::{audit, profiles, Radio};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_radio_transfers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radio");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("transfer_stream_1k", |b| {
+        b.iter_batched(
+            || Radio::new(profiles::umts_3g()),
+            |mut radio| {
+                for k in 0..1_000u64 {
+                    radio.transfer(SimTime::from_secs(k * 7), 4 * 1024, 512);
+                }
+                black_box(radio.finish(SimTime::from_secs(8_000)))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("transfer_stream_1k_with_timeline", |b| {
+        b.iter_batched(
+            || Radio::with_timeline(profiles::umts_3g()),
+            |mut radio| {
+                for k in 0..1_000u64 {
+                    radio.transfer(SimTime::from_secs(k * 7), 4 * 1024, 512);
+                }
+                black_box(radio.finish(SimTime::from_secs(8_000)))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let apps = audit::top_apps();
+    let radio = profiles::umts_3g();
+    let ads = audit::AdTrafficModel::default();
+    let baseline = audit::DeviceBaseline::default();
+    c.bench_function("audit_top15_one_day", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for app in &apps {
+                let sessions = audit::synth_sessions(app, 1);
+                let a = audit::audit_app(&sessions, &app.traffic, &ads, &radio, &baseline);
+                total += a.ad_comm_share();
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(benches, bench_radio_transfers, bench_audit);
+criterion_main!(benches);

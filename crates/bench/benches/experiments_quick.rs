@@ -1,0 +1,27 @@
+//! One Criterion benchmark per reconstructed table/figure (E1–E15),
+//! run at micro scale so each experiment's full pipeline is timed.
+
+use adpf_bench::{all_ids, run_experiment, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments_micro");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+    for id in all_ids() {
+        // E9 shares E8's sweep.
+        if id == "e9" {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, id| {
+            b.iter(|| black_box(run_experiment(id, Scale::Micro).expect("known id")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

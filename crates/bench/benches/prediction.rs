@@ -1,0 +1,80 @@
+//! Microbenchmarks of the demand predictors (substrate of E5/E6/E12).
+
+use adpf_desim::{SimDuration, SimTime};
+use adpf_prediction::PredictorKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Builds a 28-day slot series with two 5-slot sessions per day.
+fn slot_series() -> Vec<SimTime> {
+    let mut out = Vec::new();
+    for d in 0..28u64 {
+        for s in 0..2u64 {
+            let start = SimTime::from_days(d) + SimDuration::from_hours(9 + s * 9);
+            for k in 0..5u64 {
+                out.push(start + SimDuration::from_secs(30 * k));
+            }
+        }
+    }
+    out
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let slots = slot_series();
+    let kinds = [
+        PredictorKind::GlobalRate,
+        PredictorKind::Ewma(0.3),
+        PredictorKind::TimeOfDay,
+        PredictorKind::DayHour,
+        PredictorKind::Quantile(0.5),
+        PredictorKind::SessionAware,
+        PredictorKind::Oracle,
+    ];
+    let mut g = c.benchmark_group("predictor_train_predict_28d_2h");
+    for kind in kinds {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, k| {
+            b.iter(|| {
+                let mut p = k.build(&slots);
+                let window = SimDuration::from_hours(2);
+                let mut cursor = 0usize;
+                let mut acc = 0.0;
+                let mut t = SimTime::ZERO;
+                while t < SimTime::from_days(28) {
+                    let end = t + window;
+                    let begin = cursor;
+                    while cursor < slots.len() && slots[cursor] < end {
+                        cursor += 1;
+                    }
+                    acc += p.predict(t, window);
+                    p.observe(t, end, &slots[begin..cursor]);
+                    t = end;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The hot path of replication planning: one availability prediction.
+fn bench_predict_only(c: &mut Criterion) {
+    let slots = slot_series();
+    let mut p = PredictorKind::SessionAware.build(&slots);
+    // Train over the whole trace first.
+    let day = SimDuration::from_days(1);
+    let mut cursor = 0;
+    for d in 0..28u64 {
+        let start = SimTime::from_days(d);
+        let begin = cursor;
+        while cursor < slots.len() && slots[cursor] < start + day {
+            cursor += 1;
+        }
+        p.observe(start, start + day, &slots[begin..cursor]);
+    }
+    c.bench_function("session_aware_predict_hot", |b| {
+        b.iter(|| black_box(p.predict(SimTime::from_days(28), SimDuration::from_hours(12))));
+    });
+}
+
+criterion_group!(benches, bench_predictors, bench_predict_only);
+criterion_main!(benches);

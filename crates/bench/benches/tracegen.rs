@@ -1,0 +1,27 @@
+//! Microbenchmarks of trace generation and slot derivation (E3/E4 input).
+
+use adpf_desim::SimDuration;
+use adpf_traces::PopulationConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let cfg = PopulationConfig {
+        num_users: 200,
+        days: 14,
+        ..PopulationConfig::iphone_like(42)
+    };
+    let mut g = c.benchmark_group("tracegen");
+    g.throughput(Throughput::Elements(200 * 14));
+    g.bench_function("generate_200u_14d", |b| {
+        b.iter(|| black_box(cfg.generate()));
+    });
+    let trace = cfg.generate();
+    g.bench_function("derive_slots", |b| {
+        b.iter(|| black_box(trace.ad_slots(SimDuration::from_secs(30))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

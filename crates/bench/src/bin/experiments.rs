@@ -1,0 +1,51 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments all            # every experiment at quick scale
+//! experiments e7 e10         # selected experiments
+//! experiments all --full     # paper-scale populations (slow)
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use adpf_bench::{all_ids, run_experiment, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = all_ids().iter().map(|s| s.to_string()).collect();
+        // E9 is printed as part of E8.
+        ids.retain(|i| i != "e9");
+    }
+
+    println!(
+        "adprefetch experiment harness — scale: {:?} (pass --full for paper-scale populations)\n",
+        scale
+    );
+    for id in &ids {
+        let t0 = Instant::now();
+        match run_experiment(id, scale) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{table}");
+                }
+                println!("[{} done in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; known: {}", all_ids().join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

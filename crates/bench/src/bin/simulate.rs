@@ -1,0 +1,200 @@
+//! Runs the ad-delivery simulator on a CSV trace (or a synthetic preset)
+//! and prints the full report, including battery terms.
+//!
+//! Usage:
+//!
+//! ```text
+//! simulate --trace trace.csv --mode prefetch --interval-h 2 --deadline-h 12
+//! simulate --preset small --mode both --radio lte
+//! ```
+//!
+//! `--mode both` runs real-time and prefetch on the same trace and prints
+//! the comparison (energy savings, revenue loss, SLA violations).
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use adpf_core::{DeliveryMode, PlannerKind, SimReport, Simulator, SystemConfig};
+use adpf_desim::SimDuration;
+use adpf_energy::{profiles, BatteryModel};
+use adpf_prediction::PredictorKind;
+use adpf_traces::{csv, PopulationConfig, Trace};
+
+fn usage() {
+    eprintln!(
+        "usage: simulate [--trace FILE | --preset iphone|wp|small]\n\
+         \x20                [--mode realtime|prefetch|both]\n\
+         \x20                [--interval-h N] [--deadline-h N] [--sla P]\n\
+         \x20                [--predictor session|day-hour|tod|markov|mean|oracle|zero]\n\
+         \x20                [--planner greedy|fixed-K|none]\n\
+         \x20                [--radio 3g|lte|wifi] [--seed N]"
+    );
+}
+
+struct Opts {
+    trace: Option<String>,
+    preset: String,
+    mode: String,
+    interval_h: u64,
+    deadline_h: u64,
+    sla: f64,
+    predictor: String,
+    planner: String,
+    radio: String,
+    seed: u64,
+}
+
+fn parse(args: &[String]) -> Option<Opts> {
+    let mut o = Opts {
+        trace: None,
+        preset: "small".into(),
+        mode: "both".into(),
+        interval_h: 2,
+        deadline_h: 12,
+        sla: 0.95,
+        predictor: "session".into(),
+        planner: "greedy".into(),
+        radio: "3g".into(),
+        seed: 1,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return None;
+        }
+        let value = args.get(i + 1)?;
+        match flag {
+            "--trace" => o.trace = Some(value.clone()),
+            "--preset" => o.preset = value.clone(),
+            "--mode" => o.mode = value.clone(),
+            "--interval-h" => o.interval_h = value.parse().ok()?,
+            "--deadline-h" => o.deadline_h = value.parse().ok()?,
+            "--sla" => o.sla = value.parse().ok()?,
+            "--predictor" => o.predictor = value.clone(),
+            "--planner" => o.planner = value.clone(),
+            "--radio" => o.radio = value.clone(),
+            "--seed" => o.seed = value.parse().ok()?,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return None;
+            }
+        }
+        i += 2;
+    }
+    Some(o)
+}
+
+fn load_trace(o: &Opts) -> Result<Trace, String> {
+    if let Some(path) = &o.trace {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return csv::read_trace(file).map_err(|e| e.to_string());
+    }
+    let cfg = match o.preset.as_str() {
+        "iphone" => PopulationConfig::iphone_like(o.seed),
+        "wp" => PopulationConfig::windows_phone_like(o.seed),
+        "small" => PopulationConfig::small_test(o.seed),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    Ok(cfg.generate())
+}
+
+fn build_config(o: &Opts, mode: DeliveryMode) -> Result<SystemConfig, String> {
+    let mut cfg = match mode {
+        DeliveryMode::RealTime => SystemConfig::realtime(o.seed),
+        DeliveryMode::Prefetch => SystemConfig::prefetch_default(o.seed),
+    };
+    cfg.prefetch_interval = SimDuration::from_hours(o.interval_h);
+    cfg.deadline = SimDuration::from_hours(o.deadline_h);
+    cfg.sla_target = o.sla;
+    cfg.predictor = match o.predictor.as_str() {
+        "session" => PredictorKind::SessionAware,
+        "day-hour" => PredictorKind::DayHour,
+        "tod" => PredictorKind::TimeOfDay,
+        "markov" => PredictorKind::Markov,
+        "mean" => PredictorKind::GlobalRate,
+        "oracle" => PredictorKind::Oracle,
+        "zero" => PredictorKind::Zero,
+        other => return Err(format!("unknown predictor `{other}`")),
+    };
+    cfg.planner = match o.planner.as_str() {
+        "greedy" => PlannerKind::Greedy,
+        "none" => PlannerKind::NoReplication,
+        other => match other.strip_prefix("fixed-").and_then(|k| k.parse().ok()) {
+            Some(k) => PlannerKind::FixedK(k),
+            None => return Err(format!("unknown planner `{other}`")),
+        },
+    };
+    cfg.radio = match o.radio.as_str() {
+        "3g" => profiles::umts_3g(),
+        "lte" => profiles::lte(),
+        "wifi" => profiles::wifi(),
+        other => return Err(format!("unknown radio `{other}`")),
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn print_report(report: &SimReport) {
+    println!("{}", report.summary());
+    let battery = BatteryModel::smartphone_2012();
+    println!(
+        "  battery: ad traffic burns {:.2}% of a {:.0} J battery per user-day\n",
+        battery.daily_ad_drain(&report.energy, report.users, report.days) * 100.0,
+        battery.capacity_j
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse(&args) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let trace = match load_trace(&opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "trace: {} users, {} sessions, {} days\n",
+        trace.num_users(),
+        trace.sessions().len(),
+        trace.days()
+    );
+
+    let run = |mode: DeliveryMode| -> Result<SimReport, String> {
+        let cfg = build_config(&opts, mode)?;
+        Ok(Simulator::new(cfg, &trace).run())
+    };
+    let result = match opts.mode.as_str() {
+        "realtime" => run(DeliveryMode::RealTime).map(|r| print_report(&r)),
+        "prefetch" => run(DeliveryMode::Prefetch).map(|r| print_report(&r)),
+        "both" => run(DeliveryMode::RealTime).and_then(|rt| {
+            print_report(&rt);
+            run(DeliveryMode::Prefetch).map(|pf| {
+                print_report(&pf);
+                println!(
+                    "energy savings {:.1}%   revenue loss {:.2}%   SLA violations {:.2}%",
+                    pf.energy_savings_vs(&rt) * 100.0,
+                    pf.revenue_loss_vs(&rt) * 100.0,
+                    pf.sla_violation_rate() * 100.0
+                );
+            })
+        }),
+        other => {
+            eprintln!("unknown mode `{other}`");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

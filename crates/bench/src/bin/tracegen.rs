@@ -1,0 +1,121 @@
+//! Generates synthetic usage traces in the CSV trace format.
+//!
+//! Usage:
+//!
+//! ```text
+//! tracegen --preset iphone --out trace.csv
+//! tracegen --users 500 --days 14 --seed 7 --out trace.csv
+//! tracegen --preset wp            # writes to stdout
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::process::ExitCode;
+
+use adpf_traces::{csv, PopulationConfig, TraceStats};
+
+fn usage() {
+    eprintln!(
+        "usage: tracegen [--preset iphone|wp|small] [--users N] [--days N] [--seed N] [--out FILE]\n\
+         Generates a synthetic app-usage trace in the adprefetch CSV format."
+    );
+}
+
+/// Parsed command line; `None` means print usage and fail.
+struct Opts {
+    preset: String,
+    users: Option<u32>,
+    days: Option<u32>,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Option<Opts> {
+    let mut opts = Opts {
+        preset: "iphone".to_string(),
+        users: None,
+        days: None,
+        seed: 42,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return None;
+        }
+        let value = args.get(i + 1)?;
+        match flag {
+            "--preset" => opts.preset = value.clone(),
+            "--users" => opts.users = Some(value.parse().ok()?),
+            "--days" => opts.days = Some(value.parse().ok()?),
+            "--seed" => opts.seed = value.parse().ok()?,
+            "--out" => opts.out = Some(value.clone()),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return None;
+            }
+        }
+        i += 2;
+    }
+    Some(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse(&args) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+
+    let mut cfg = match opts.preset.as_str() {
+        "iphone" => PopulationConfig::iphone_like(opts.seed),
+        "wp" => PopulationConfig::windows_phone_like(opts.seed),
+        "small" => PopulationConfig::small_test(opts.seed),
+        other => {
+            eprintln!("unknown preset `{other}` (expected iphone, wp, or small)");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    cfg.seed = opts.seed;
+    if let Some(u) = opts.users {
+        cfg.num_users = u;
+    }
+    if let Some(d) = opts.days {
+        cfg.days = d;
+    }
+    if cfg.num_users == 0 || cfg.days == 0 {
+        eprintln!("--users and --days must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let trace = cfg.generate();
+    let stats = TraceStats::compute(&trace, adpf_desim::SimDuration::from_secs(30));
+    eprintln!(
+        "generated {} users x {} days: {} sessions, {} ad slots ({:.1} slots/user/day)",
+        stats.users, stats.days, stats.sessions, stats.slots, stats.slots_per_user_day.mean
+    );
+
+    let result = match opts.out {
+        Some(path) => File::create(&path)
+            .map_err(adpf_traces::csv::CsvError::from)
+            .and_then(|file| {
+                let mut w = BufWriter::new(file);
+                csv::write_trace(&trace, &mut w)?;
+                w.flush().map_err(Into::into)
+            }),
+        None => {
+            let stdout = io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            csv::write_trace(&trace, &mut w).and_then(|()| w.flush().map_err(Into::into))
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

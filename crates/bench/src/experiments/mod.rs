@@ -1,0 +1,62 @@
+//! One module per experiment family; see DESIGN.md's experiment index.
+
+pub mod mechanisms;
+pub mod motivation;
+pub mod prediction;
+pub mod scaling;
+pub mod system;
+pub mod traces;
+
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// All experiment ids, in DESIGN.md order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15",
+    ]
+}
+
+/// Runs one experiment by id (case-insensitive); `None` for unknown ids.
+///
+/// Some ids return more than one table (e.g. E2's gap sweep plus state
+/// timeline; E8/E9 are two views of one sweep and both appear under
+/// either id).
+pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(vec![motivation::e1_ad_energy_share(scale)]),
+        "e2" => Some(motivation::e2_tail_energy()),
+        "e3" => Some(vec![traces::e3_dataset_table(scale)]),
+        "e4" => Some(traces::e4_predictability(scale)),
+        "e5" => Some(vec![prediction::e5_accuracy_by_window(scale)]),
+        "e6" => Some(vec![prediction::e6_error_cdf(scale)]),
+        "e7" => Some(system::e7_energy_vs_interval(scale)),
+        "e8" | "e9" => {
+            let (sla, loss) = system::e8_e9_overbooking_sweep(scale);
+            Some(vec![sla, loss])
+        }
+        "e10" => Some(vec![system::e10_deadline_sensitivity(scale)]),
+        "e11" => Some(vec![system::e11_tradeoff_frontier(scale)]),
+        "e12" => Some(vec![system::e12_predictor_ablation(scale)]),
+        "e13" => Some(vec![system::e13_planner_ablation(scale)]),
+        "e14" => Some(scaling::e14_scaling(scale)),
+        "e15" => Some(vec![mechanisms::e15_mechanism_ablation(scale)]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("e99", Scale::Micro).is_none());
+    }
+
+    #[test]
+    fn ids_are_complete() {
+        assert_eq!(all_ids().len(), 15);
+    }
+}

@@ -1,0 +1,113 @@
+//! E14: exchange behaviour and simulator scaling.
+
+use std::time::Instant;
+
+use adpf_auction::{CampaignCatalog, Exchange, SlotOffer};
+use adpf_core::{Simulator, SystemConfig};
+use adpf_desim::SimTime;
+use adpf_traces::PopulationConfig;
+
+use crate::scale::Scale;
+use crate::table::{f, pct, Table};
+
+/// E14: (a) real-time vs. advance clearing prices in the exchange, and
+/// (b) simulator throughput versus population size.
+pub fn e14_scaling(scale: Scale) -> Vec<Table> {
+    let mut prices = Table::new(
+        "E14a",
+        "exchange clearing: real-time vs. advance sale",
+        "advance slots clear at second price minus the risk discount; contextual campaigns \
+         cannot bid on them, so targeting erodes advance prices further",
+        &[
+            "discount",
+            "contextual",
+            "auctions",
+            "fill",
+            "advance/realtime revenue",
+        ],
+    );
+    for (discount, contextual) in [(1.0, 0.0), (0.95, 0.0), (0.9, 0.0), (1.0, 0.3), (1.0, 0.6)] {
+        let n = 5_000;
+        let mut rt_rev = 0.0;
+        let mut adv_rev = 0.0;
+        let mk = || {
+            Exchange::new(
+                CampaignCatalog::synthetic_with_targeting(40, 7, contextual, 1.5).into_campaigns(),
+                7,
+            )
+        };
+        let mut rt = mk();
+        let mut adv = mk();
+        adv.advance_discount = discount;
+        for k in 0..n {
+            let category = Some((k % 8) as u8);
+            if let Some(s) = rt.run_auction(&SlotOffer::realtime(SimTime::ZERO, category)) {
+                rt_rev += s.price;
+            }
+            if let Some(s) =
+                adv.run_auction(&SlotOffer::advance(SimTime::ZERO, SimTime::from_hours(12)))
+            {
+                adv_rev += s.price;
+            }
+        }
+        prices.push(vec![
+            f(discount, 2),
+            pct(contextual),
+            n.to_string(),
+            pct(adv.fill_rate()),
+            f(adv_rev / rt_rev, 3),
+        ]);
+    }
+
+    let mut throughput = Table::new(
+        "E14b",
+        "simulator throughput vs. population size (prefetch mode)",
+        "the event-driven design scales linearly in slots",
+        &["users", "slots", "wall s", "slots/s"],
+    );
+    for users in scale.scaling_sizes() {
+        let cfg = PopulationConfig {
+            num_users: users,
+            days: 7,
+            ..PopulationConfig::iphone_like(42)
+        };
+        let trace = cfg.generate();
+        let t0 = Instant::now();
+        let report = Simulator::new(SystemConfig::prefetch_default(1), &trace).run();
+        let wall = t0.elapsed().as_secs_f64();
+        throughput.push(vec![
+            users.to_string(),
+            report.slots.to_string(),
+            f(wall, 2),
+            f(report.slots as f64 / wall.max(1e-9), 0),
+        ]);
+    }
+
+    vec![prices, throughput]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_discount_tracks_revenue_ratio() {
+        let tables = e14_scaling(Scale::Micro);
+        let prices = &tables[0];
+        for row in &prices.rows {
+            let discount: f64 = row[0].parse().unwrap();
+            let contextual: f64 = row[1].trim_end_matches('%').parse().unwrap();
+            let ratio: f64 = row[4].parse().unwrap();
+            if contextual == 0.0 {
+                assert!(
+                    (ratio - discount).abs() < 0.05,
+                    "discount {discount} ratio {ratio}"
+                );
+            } else {
+                // Contextual campaigns can only lift real-time revenue.
+                assert!(ratio < 1.0, "contextual {contextual}% ratio {ratio}");
+            }
+        }
+        assert_eq!(tables[1].rows.len(), Scale::Micro.scaling_sizes().len());
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-client state: ad cache, pending reports, radio.
+
+use adpf_auction::AdId;
+use adpf_desim::{SimDuration, SimTime};
+use adpf_energy::Radio;
+use adpf_prediction::SlotPredictor;
+
+/// One prefetched ad sitting in a client's cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedAd {
+    /// Ledger id of the sold ad.
+    pub id: AdId,
+    /// Latest time the ad may still be displayed.
+    pub deadline: SimTime,
+    /// `true` when this client holds an overbooking replica rather than
+    /// the primary copy. Replicas are insurance: they display only after
+    /// all primaries, so they rarely burn a slot unless the origin client
+    /// actually failed.
+    pub replica: bool,
+}
+
+impl CachedAd {
+    /// Display-priority key: all primaries (earliest deadline first)
+    /// before any replica.
+    fn priority(&self) -> (bool, SimTime) {
+        (self.replica, self.deadline)
+    }
+}
+
+/// The state of one simulated client device plus the server-side model the
+/// ad server keeps for it (predictor, queue estimate, outbox).
+pub struct ClientState {
+    /// The client's radio modem (ad traffic only).
+    pub radio: Radio,
+    /// Prefetched ads available for display, kept sorted by display
+    /// priority: primaries earliest-deadline-first, then replicas.
+    pub cache: Vec<CachedAd>,
+    /// Displays since the last sync, awaiting report.
+    pub pending_reports: Vec<(AdId, SimTime)>,
+    /// Slot times since the last sync (the predictor's observation).
+    pub slot_times: Vec<SimTime>,
+    /// Time of the last completed sync.
+    pub last_sync: SimTime,
+    /// Time of the next scheduled sync.
+    pub next_sync: SimTime,
+    /// Server-side demand model for this client.
+    pub predictor: Box<dyn SlotPredictor>,
+    /// Server-side assignments awaiting the client's next sync.
+    pub outbox: Vec<CachedAd>,
+    /// Server-side estimate of undisplayed ads assigned to this client
+    /// (cache + outbox), used to discount availability.
+    pub queued: u32,
+}
+
+impl ClientState {
+    /// Creates a client with an idle radio and a cold predictor.
+    pub fn new(radio: Radio, predictor: Box<dyn SlotPredictor>) -> Self {
+        Self {
+            radio,
+            cache: Vec::new(),
+            pending_reports: Vec::new(),
+            slot_times: Vec::new(),
+            last_sync: SimTime::ZERO,
+            next_sync: SimTime::ZERO,
+            predictor,
+            outbox: Vec::new(),
+            queued: 0,
+        }
+    }
+
+    /// Inserts an ad into the cache keeping display-priority order.
+    pub fn cache_insert(&mut self, ad: CachedAd) {
+        let pos = self
+            .cache
+            .partition_point(|c| c.priority() <= ad.priority());
+        self.cache.insert(pos, ad);
+    }
+
+    /// Number of cached primary (non-replica) ads — the quantity the
+    /// server compares against predicted demand when topping up.
+    pub fn primary_count(&self) -> usize {
+        self.cache.iter().filter(|c| !c.replica).count()
+    }
+
+    /// Removes and returns the best displayable ad at `now`, purging
+    /// expired entries on the way.
+    ///
+    /// Primaries display in deadline order. Replicas are last-resort
+    /// insurance: one becomes eligible only inside the final
+    /// `replica_window` before its deadline — by then the origin client has
+    /// evidently failed to show it, and a cancellation would long since
+    /// have arrived had it succeeded. Holding replicas back keeps them
+    /// from burning slots as duplicate displays of ads already shown
+    /// elsewhere.
+    pub fn take_displayable(
+        &mut self,
+        now: SimTime,
+        replica_window: SimDuration,
+    ) -> Option<CachedAd> {
+        // Expired entries are dropped silently; the server's expiry sweep
+        // does the ledger accounting.
+        self.cache.retain(|c| c.deadline >= now);
+        let pos = self
+            .cache
+            .iter()
+            .position(|c| !c.replica || c.deadline.saturating_since(now) <= replica_window)?;
+        Some(self.cache.remove(pos))
+    }
+
+    /// Drops cache entries whose deadline has passed; returns how many.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.cache.len();
+        self.cache.retain(|c| c.deadline >= now);
+        before - self.cache.len()
+    }
+
+    /// Removes the given ads from cache and outbox (server-issued
+    /// cancellations); returns how many entries were actually dropped.
+    pub fn cancel(&mut self, ads: &[u64]) -> usize {
+        let before = self.cache.len() + self.outbox.len();
+        self.cache.retain(|c| !ads.contains(&c.id.0));
+        self.outbox.retain(|c| !ads.contains(&c.id.0));
+        before - self.cache.len() - self.outbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpf_energy::profiles;
+    use adpf_prediction::PredictorKind;
+
+    /// Replica-eligibility window used across these tests.
+    const W: SimDuration = SimDuration::from_hours(1);
+
+    fn client() -> ClientState {
+        ClientState::new(
+            Radio::new(profiles::umts_3g()),
+            PredictorKind::Zero.build(&[]),
+        )
+    }
+
+    fn ad(id: u64, deadline_h: u64) -> CachedAd {
+        CachedAd {
+            id: AdId(id),
+            deadline: SimTime::from_hours(deadline_h),
+            replica: false,
+        }
+    }
+
+    fn replica(id: u64, deadline_h: u64) -> CachedAd {
+        CachedAd {
+            replica: true,
+            ..ad(id, deadline_h)
+        }
+    }
+
+    #[test]
+    fn cache_keeps_deadline_order() {
+        let mut c = client();
+        c.cache_insert(ad(1, 10));
+        c.cache_insert(ad(2, 5));
+        c.cache_insert(ad(3, 7));
+        let order: Vec<u64> = c.cache.iter().map(|a| a.id.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn primaries_display_before_replicas() {
+        let mut c = client();
+        c.cache_insert(replica(1, 2)); // Urgent replica.
+        c.cache_insert(ad(2, 9)); // Relaxed primary.
+        c.cache_insert(replica(3, 5));
+        c.cache_insert(ad(4, 6));
+        let order: Vec<u64> = c.cache.iter().map(|a| a.id.0).collect();
+        assert_eq!(order, vec![4, 2, 1, 3], "primaries EDF, then replicas EDF");
+        assert_eq!(c.primary_count(), 2);
+        let first = c.take_displayable(SimTime::from_hours(1), W).unwrap();
+        assert!(!first.replica);
+    }
+
+    #[test]
+    fn replicas_held_back_until_their_window() {
+        let mut c = client();
+        c.cache_insert(replica(1, 10));
+        // Far from the deadline the replica is invisible.
+        assert!(c.take_displayable(SimTime::from_hours(2), W).is_none());
+        assert_eq!(c.cache.len(), 1, "the replica stays cached");
+        // Inside the final window it becomes displayable.
+        let got = c.take_displayable(SimTime::from_hours(9), W).unwrap();
+        assert_eq!(got.id.0, 1);
+    }
+
+    #[test]
+    fn take_displayable_is_edf_and_skips_expired() {
+        let mut c = client();
+        c.cache_insert(ad(1, 1)); // Will be expired.
+        c.cache_insert(ad(2, 8));
+        c.cache_insert(ad(3, 6));
+        let got = c.take_displayable(SimTime::from_hours(2), W).unwrap();
+        assert_eq!(got.id.0, 3, "earliest non-expired deadline first");
+        assert_eq!(c.cache.len(), 1);
+    }
+
+    #[test]
+    fn take_displayable_empty_cache() {
+        let mut c = client();
+        assert!(c.take_displayable(SimTime::ZERO, W).is_none());
+        c.cache_insert(ad(1, 1));
+        assert!(c.take_displayable(SimTime::from_hours(2), W).is_none());
+        assert!(c.cache.is_empty());
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        let mut c = client();
+        c.cache_insert(ad(1, 2));
+        let got = c.take_displayable(SimTime::from_hours(2), W);
+        assert!(got.is_some(), "an ad at exactly its deadline still shows");
+    }
+
+    #[test]
+    fn purge_expired_counts() {
+        let mut c = client();
+        c.cache_insert(ad(1, 1));
+        c.cache_insert(ad(2, 2));
+        c.cache_insert(ad(3, 9));
+        assert_eq!(c.purge_expired(SimTime::from_hours(3)), 2);
+        assert_eq!(c.cache.len(), 1);
+        assert_eq!(c.purge_expired(SimTime::from_hours(3)), 0);
+    }
+
+    #[test]
+    fn cancel_hits_cache_and_outbox() {
+        let mut c = client();
+        c.cache_insert(ad(1, 5));
+        c.cache_insert(ad(2, 6));
+        c.outbox.push(ad(3, 7));
+        let dropped = c.cancel(&[1, 3, 99]);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.cache.len(), 1);
+        assert!(c.outbox.is_empty());
+    }
+}

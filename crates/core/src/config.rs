@@ -1,0 +1,303 @@
+//! System configuration.
+
+use adpf_desim::SimDuration;
+use adpf_energy::{profiles, RadioProfile};
+use adpf_overbooking::planner::{
+    FixedFactorPlanner, GreedyPlanner, NoReplicationPlanner, ReplicationPlanner,
+};
+use adpf_prediction::PredictorKind;
+
+/// How ads reach clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Status quo: every slot fetches its ad over the radio at display
+    /// time, sold through a real-time auction.
+    RealTime,
+    /// The paper's scheme: predicted slots are pre-sold, overbooked across
+    /// clients, and delivered in batched syncs.
+    Prefetch,
+}
+
+/// Which replication policy the server uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannerKind {
+    /// Greedy availability-ordered replication sized to the SLA target
+    /// (the paper's planner).
+    Greedy,
+    /// Fixed replication factor, ignoring the SLA target (static
+    /// overbooking ablation).
+    FixedK(usize),
+    /// No replication: every ad lives only on its origin client (the
+    /// no-overbooking ablation).
+    NoReplication,
+}
+
+impl PlannerKind {
+    /// Builds the planner.
+    pub fn build(&self) -> Box<dyn ReplicationPlanner> {
+        match *self {
+            PlannerKind::Greedy => Box::new(GreedyPlanner),
+            PlannerKind::FixedK(k) => Box::new(FixedFactorPlanner { k }),
+            PlannerKind::NoReplication => Box::new(NoReplicationPlanner),
+        }
+    }
+
+    /// Stable label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            PlannerKind::Greedy => "greedy".to_string(),
+            PlannerKind::FixedK(k) => format!("fixed-{k}"),
+            PlannerKind::NoReplication => "none".to_string(),
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Delivery mode under test.
+    pub mode: DeliveryMode,
+    /// Per-client demand predictor family (Prefetch mode only).
+    pub predictor: PredictorKind,
+    /// Replication policy (Prefetch mode only).
+    pub planner: PlannerKind,
+    /// Client sync period (Prefetch mode only).
+    pub prefetch_interval: SimDuration,
+    /// Target probability that a sold ad is displayed before its deadline.
+    pub sla_target: f64,
+    /// Display deadline attached to advance-sold ads.
+    pub deadline: SimDuration,
+    /// Upper bound on replicas per ad.
+    pub max_replicas: usize,
+    /// Final portion of an ad's lifetime during which replica copies may
+    /// display. Replicas are insurance against the origin client failing;
+    /// holding them back until late keeps them from duplicating ads the
+    /// origin already showed (whose cancellations are still in flight).
+    pub replica_window: SimDuration,
+    /// How many candidate clients the planner examines per ad.
+    pub candidate_pool: usize,
+    /// Dispersion factor in `(0, 1]` applied to expected session counts
+    /// when estimating display probabilities. Real demand is overdispersed
+    /// day to day (users skip whole days), so availability is discounted
+    /// below the Poisson-session estimate.
+    pub availability_dispersion: f64,
+    /// In-app ad refresh interval (drives slot derivation).
+    pub ad_refresh: SimDuration,
+    /// Radio technology profile.
+    pub radio: RadioProfile,
+    /// Downlink bytes per ad creative.
+    pub ad_bytes_down: u64,
+    /// Uplink bytes per ad request/report.
+    pub ad_bytes_up: u64,
+    /// Fixed protocol bytes per sync (each direction).
+    pub sync_overhead_bytes: u64,
+    /// Skip the sync radio transfer when there is nothing to deliver or
+    /// report.
+    pub skip_empty_syncs: bool,
+    /// Serve a real-time fetch when a slot finds the cache empty.
+    pub realtime_fallback: bool,
+    /// Defer syncs whose only payload is impression reports until the
+    /// oldest pending report is one prefetch interval old (or a transfer
+    /// happens anyway). Reports are tiny; what costs energy is the radio
+    /// wakeup, so batching them into the next natural transfer saves a
+    /// full tail per report-only sync. Billing tolerates the delay: ads
+    /// are billed by display timestamp and the expiry sweep waits a grace
+    /// period of two intervals before declaring a violation.
+    pub defer_report_syncs: bool,
+    /// Piggyback a full sync (reports, deliveries, new sales) on each
+    /// real-time fallback fetch: the radio is already awake, so the batch
+    /// rides the same promotion and tail. This is the paper's key
+    /// client-side optimization — typically one radio wakeup per app
+    /// session instead of one per ad.
+    pub piggyback_on_fallback: bool,
+    /// Multiplier applied to the predicted slot count when deciding how
+    /// many advance slots to sell. Values above 1 over-provision
+    /// deliberately and lean on overbooking + cancellation to contain the
+    /// cost.
+    pub sell_margin: f64,
+    /// Number of advertiser campaigns in the exchange.
+    pub campaigns: u32,
+    /// Fraction of campaigns that target a specific app category.
+    /// Contextual campaigns cannot bid on advance slots (the future app is
+    /// unknown), so raising this erodes advance clearing prices — the
+    /// context cost of prefetching. The paper's model corresponds to 0.
+    pub contextual_fraction: f64,
+    /// Bid premium contextual campaigns pay for matching impressions.
+    pub contextual_premium: f64,
+    /// Price multiplier applied to advance sales (1.0 = no risk discount).
+    pub advance_discount: f64,
+    /// Probability a scheduled periodic sync is missed (device off,
+    /// no coverage, radio-off hours). Piggybacked syncs are unaffected —
+    /// the user is demonstrably online when a fallback fetch happens.
+    /// Failure-injection knob; `0.0` disables.
+    pub sync_dropout: f64,
+    /// Master seed (exchange randomness, candidate sampling).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The status-quo configuration: real-time delivery over 3G.
+    pub fn realtime(seed: u64) -> Self {
+        Self {
+            mode: DeliveryMode::RealTime,
+            predictor: PredictorKind::Zero,
+            planner: PlannerKind::NoReplication,
+            prefetch_interval: SimDuration::from_hours(2),
+            sla_target: 0.95,
+            deadline: SimDuration::from_hours(12),
+            max_replicas: 4,
+            replica_window: SimDuration::from_mins(45),
+            candidate_pool: 64,
+            availability_dispersion: 0.5,
+            ad_refresh: SimDuration::from_secs(30),
+            radio: profiles::umts_3g(),
+            ad_bytes_down: 4 * 1024,
+            ad_bytes_up: 512,
+            sync_overhead_bytes: 1024,
+            skip_empty_syncs: true,
+            defer_report_syncs: true,
+            realtime_fallback: true,
+            piggyback_on_fallback: true,
+            sell_margin: 1.0,
+            campaigns: 50,
+            contextual_fraction: 0.0,
+            contextual_premium: 1.5,
+            advance_discount: 1.0,
+            sync_dropout: 0.0,
+            seed,
+        }
+    }
+
+    /// The paper's default prefetching configuration: 2-hour syncs,
+    /// 12-hour ad deadlines, the session-aware predictor, and greedy
+    /// overbooking at a 95% SLA target with a 45-minute replica window.
+    pub fn prefetch_default(seed: u64) -> Self {
+        Self {
+            mode: DeliveryMode::Prefetch,
+            predictor: PredictorKind::SessionAware,
+            planner: PlannerKind::Greedy,
+            ..Self::realtime(seed)
+        }
+    }
+
+    /// Validates invariants the simulator relies on.
+    ///
+    /// Returns a human-readable reason when the configuration is unusable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prefetch_interval.is_zero() {
+            return Err("prefetch_interval must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.sla_target) {
+            return Err(format!("sla_target {} outside [0, 1]", self.sla_target));
+        }
+        if self.deadline.is_zero() {
+            return Err("deadline must be positive".into());
+        }
+        if self.max_replicas == 0 {
+            return Err("max_replicas must be at least 1".into());
+        }
+        if self.mode == DeliveryMode::Prefetch && self.replica_window.is_zero() {
+            return Err("replica_window must be positive: replicas could never display".into());
+        }
+        if self.candidate_pool == 0 {
+            return Err("candidate_pool must be at least 1".into());
+        }
+        if !(self.availability_dispersion > 0.0 && self.availability_dispersion <= 1.0) {
+            return Err(format!(
+                "availability_dispersion {} outside (0, 1]",
+                self.availability_dispersion
+            ));
+        }
+        if !(self.sell_margin.is_finite() && self.sell_margin > 0.0) {
+            return Err(format!("sell_margin {} must be positive", self.sell_margin));
+        }
+        if !(0.0..=1.0).contains(&self.contextual_fraction) {
+            return Err(format!(
+                "contextual_fraction {} outside [0, 1]",
+                self.contextual_fraction
+            ));
+        }
+        if self.advance_discount <= 0.0 || self.advance_discount > 1.0 {
+            return Err(format!(
+                "advance_discount {} outside (0, 1]",
+                self.advance_discount
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.sync_dropout) {
+            return Err(format!("sync_dropout {} outside [0, 1]", self.sync_dropout));
+        }
+        if self.mode == DeliveryMode::Prefetch && self.deadline < self.prefetch_interval {
+            return Err(format!(
+                "deadline {} shorter than prefetch interval {}: replicas could never arrive",
+                self.deadline, self.prefetch_interval
+            ));
+        }
+        Ok(())
+    }
+
+    /// One-line description for report headers.
+    pub fn describe(&self) -> String {
+        match self.mode {
+            DeliveryMode::RealTime => format!("realtime radio={}", self.radio.name),
+            DeliveryMode::Prefetch => format!(
+                "prefetch interval={} deadline={} predictor={} planner={} sla={} radio={}",
+                self.prefetch_interval,
+                self.deadline,
+                self.predictor.label(),
+                self.planner.label(),
+                self.sla_target,
+                self.radio.name
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(SystemConfig::realtime(1).validate(), Ok(()));
+        assert_eq!(SystemConfig::prefetch_default(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let mut c = SystemConfig::prefetch_default(1);
+        c.sla_target = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::prefetch_default(1);
+        c.prefetch_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::prefetch_default(1);
+        c.deadline = SimDuration::from_mins(30);
+        assert!(c.validate().is_err(), "deadline < interval must fail");
+
+        let mut c = SystemConfig::prefetch_default(1);
+        c.max_replicas = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::prefetch_default(1);
+        c.advance_discount = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn planner_kinds_build() {
+        assert_eq!(PlannerKind::Greedy.build().name(), "greedy");
+        assert_eq!(PlannerKind::FixedK(3).build().name(), "fixed-k");
+        assert_eq!(PlannerKind::NoReplication.build().name(), "none");
+        assert_eq!(PlannerKind::FixedK(3).label(), "fixed-3");
+    }
+
+    #[test]
+    fn describe_mentions_key_knobs() {
+        let d = SystemConfig::prefetch_default(1).describe();
+        assert!(d.contains("prefetch"));
+        assert!(d.contains("greedy"));
+        assert!(SystemConfig::realtime(1).describe().contains("realtime"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation reports.
+
+use adpf_auction::LedgerTotals;
+use adpf_energy::EnergyBreakdown;
+
+/// Everything one simulation run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Configuration summary (from [`crate::SystemConfig::describe`]).
+    pub config: String,
+    /// Users simulated.
+    pub users: u32,
+    /// Trace length in days.
+    pub days: u32,
+    /// Total ad slots that occurred.
+    pub slots: u64,
+    /// Slots filled with a paid ad (cache hit or real-time fetch).
+    pub impressions: u64,
+    /// Slots served from the prefetch cache.
+    pub cache_hits: u64,
+    /// Slots served by a real-time fallback fetch.
+    pub realtime_fetches: u64,
+    /// Slots left unfilled (auction produced no buyer).
+    pub unfilled: u64,
+    /// Aggregate ad-related radio energy across all clients.
+    pub energy: EnergyBreakdown,
+    /// Syncs that actually woke the radio.
+    pub syncs: u64,
+    /// Syncs skipped because there was nothing to move.
+    pub syncs_skipped: u64,
+    /// Periodic syncs lost to injected faults (device unreachable).
+    pub syncs_dropped: u64,
+    /// Insurance replicas assigned across all sold ads (holders beyond
+    /// the primary).
+    pub replicas_assigned: u64,
+    /// Per-user total ad radio energy in joules, indexed by user id — the
+    /// raw series behind the paper's per-user savings CDF.
+    pub per_user_energy_j: Vec<f64>,
+    /// Exchange/billing totals.
+    pub ledger: LedgerTotals,
+}
+
+impl SimReport {
+    /// Ad energy per displayed impression, in joules; `0.0` with no
+    /// impressions.
+    pub fn energy_per_impression_j(&self) -> f64 {
+        if self.impressions == 0 {
+            0.0
+        } else {
+            self.energy.total_j() / self.impressions as f64
+        }
+    }
+
+    /// Fraction of slots served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.slots as f64
+        }
+    }
+
+    /// SLA violation rate over pre-sold ads.
+    pub fn sla_violation_rate(&self) -> f64 {
+        self.ledger.sla_violation_rate()
+    }
+
+    /// Billed revenue.
+    pub fn revenue(&self) -> f64 {
+        self.ledger.revenue
+    }
+
+    /// Energy saved relative to a baseline run, as a fraction of the
+    /// baseline's energy (the paper's headline metric). Negative when this
+    /// run used more energy.
+    pub fn energy_savings_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.energy.total_j();
+        if base <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.energy.total_j() / base
+        }
+    }
+
+    /// Per-user energy savings relative to a baseline run: one fraction
+    /// per user with nonzero baseline energy (users whose ads never cost
+    /// anything have no meaningful savings ratio).
+    pub fn per_user_savings_vs(&self, baseline: &SimReport) -> Vec<f64> {
+        self.per_user_energy_j
+            .iter()
+            .zip(baseline.per_user_energy_j.iter())
+            .filter(|&(_, &base)| base > 0.0)
+            .map(|(&mine, &base)| 1.0 - mine / base)
+            .collect()
+    }
+
+    /// Revenue lost relative to a baseline run, as a fraction of the
+    /// baseline's revenue. Negative when this run earned more.
+    pub fn revenue_loss_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.revenue();
+        if base <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.revenue() / base
+        }
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}\n  users={} days={} slots={} impressions={} (cache {:.1}%, realtime {}, unfilled {})\n  energy={:.1} J (promo {:.1} / xfer {:.1} / tail {:.1}; {:.3} J/impression)\n  syncs={} (+{} skipped)\n  revenue=${:.2} sold={} billed={} expired={} (SLA viol {:.3}%) duplicates={}",
+            self.config,
+            self.users,
+            self.days,
+            self.slots,
+            self.impressions,
+            self.cache_hit_rate() * 100.0,
+            self.realtime_fetches,
+            self.unfilled,
+            self.energy.total_j(),
+            self.energy.promotion_j,
+            self.energy.transfer_j,
+            self.energy.tail_j,
+            self.energy_per_impression_j(),
+            self.syncs,
+            self.syncs_skipped,
+            self.revenue(),
+            self.ledger.sold,
+            self.ledger.billed,
+            self.ledger.expired,
+            self.sla_violation_rate() * 100.0,
+            self.ledger.duplicates,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(energy_j: f64, revenue: f64, impressions: u64) -> SimReport {
+        SimReport {
+            config: "test".into(),
+            users: 1,
+            days: 1,
+            slots: impressions,
+            impressions,
+            cache_hits: 0,
+            realtime_fetches: impressions,
+            unfilled: 0,
+            energy: EnergyBreakdown {
+                transfer_j: energy_j,
+                ..EnergyBreakdown::default()
+            },
+            syncs: 0,
+            syncs_skipped: 0,
+            syncs_dropped: 0,
+            replicas_assigned: 0,
+            per_user_energy_j: vec![energy_j],
+            ledger: LedgerTotals {
+                revenue,
+                ..LedgerTotals::default()
+            },
+        }
+    }
+
+    #[test]
+    fn savings_and_loss_are_relative() {
+        let base = report(100.0, 10.0, 50);
+        let better = report(40.0, 9.5, 50);
+        assert!((better.energy_savings_vs(&base) - 0.6).abs() < 1e-12);
+        assert!((better.revenue_loss_vs(&base) - 0.05).abs() < 1e-12);
+        assert!(base.energy_savings_vs(&better) < 0.0);
+    }
+
+    #[test]
+    fn zero_baselines_are_safe() {
+        let base = report(0.0, 0.0, 0);
+        let other = report(10.0, 1.0, 5);
+        assert_eq!(other.energy_savings_vs(&base), 0.0);
+        assert_eq!(other.revenue_loss_vs(&base), 0.0);
+        assert_eq!(base.energy_per_impression_j(), 0.0);
+        assert_eq!(base.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let r = report(123.0, 4.5, 10);
+        let s = r.summary();
+        assert!(s.contains("energy=123.0 J"));
+        assert!(s.contains("revenue=$4.50"));
+    }
+}

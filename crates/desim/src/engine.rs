@@ -1,0 +1,245 @@
+//! Actor-style simulation driver.
+//!
+//! The driver owns the clock and the event queue; the [`Actor`] owns all
+//! domain state. Handlers receive a [`Scheduler`] through which they enqueue
+//! follow-up events, which keeps borrowing simple and ordering deterministic
+//! (follow-ups are committed in the order the handler issued them).
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation actor: all domain state plus an event handler.
+pub trait Actor {
+    /// The event alphabet of the simulation.
+    type Event;
+
+    /// Handles one event at simulated time `now`, optionally scheduling
+    /// follow-up events through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Collects follow-up events issued by a handler.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    pending: Vec<(SimTime, E)>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Self {
+            pending: Vec::new(),
+            now,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// Scheduling in the past is a logic error in the actor; the event is
+    /// clamped to `now` so the simulation clock can never run backwards.
+    pub fn at(&mut self, time: SimTime, event: E) {
+        self.pending.push((time.max(self.now), event));
+    }
+
+    /// Schedules an event after a relative delay.
+    pub fn after(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+}
+
+/// A running simulation: clock, queue, and actor.
+#[derive(Debug)]
+pub struct Simulation<A: Actor> {
+    actor: A,
+    queue: EventQueue<A::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation at time zero.
+    pub fn new(actor: A) -> Self {
+        Self {
+            actor,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event (usable before and between runs).
+    pub fn schedule(&mut self, time: SimTime, event: A::Event) {
+        self.queue.push(time, event);
+    }
+
+    /// Current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the actor.
+    pub fn actor(&self) -> &A {
+        &self.actor
+    }
+
+    /// Mutable access to the actor.
+    pub fn actor_mut(&mut self) -> &mut A {
+        &mut self.actor
+    }
+
+    /// Consumes the simulation and returns the actor.
+    pub fn into_actor(self) -> A {
+        self.actor
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue returned a past event");
+        self.now = time;
+        let mut sched = Scheduler::new(time);
+        self.actor.handle(time, event, &mut sched);
+        for (t, e) in sched.pending {
+            self.queue.push(t, e);
+        }
+        self.processed += 1;
+        true
+    }
+
+    /// Runs until the queue drains or `horizon` is passed; events scheduled
+    /// strictly after `horizon` remain queued. Returns the number of events
+    /// processed by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.processed - start
+    }
+
+    /// Runs until the queue drains. Returns the number of events processed
+    /// by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let start = self.processed;
+        while self.step() {}
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A counter that reschedules itself `remaining` times at a fixed period.
+    struct Ticker {
+        period: SimDuration,
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    enum Ev {
+        Tick,
+    }
+
+    impl Actor for Ticker {
+        type Event = Ev;
+
+        fn handle(&mut self, now: SimTime, _event: Ev, sched: &mut Scheduler<Ev>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.after(self.period, Ev::Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn ticker_fires_periodically() {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(10),
+            remaining: 4,
+            fired_at: Vec::new(),
+        });
+        sim.schedule(SimTime::ZERO, Ev::Tick);
+        let n = sim.run_to_completion();
+        assert_eq!(n, 5);
+        assert_eq!(
+            sim.actor().fired_at,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                SimTime::from_secs(30),
+                SimTime::from_secs(40),
+            ]
+        );
+        assert_eq!(sim.now(), SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(10),
+            remaining: 100,
+            fired_at: Vec::new(),
+        });
+        sim.schedule(SimTime::ZERO, Ev::Tick);
+        let n = sim.run_until(SimTime::from_secs(25));
+        assert_eq!(n, 3); // Ticks at 0, 10, 20.
+        assert_eq!(sim.now(), SimTime::from_secs(20));
+        // The tick at t = 30 is still queued and runs on resume.
+        let n2 = sim.run_until(SimTime::from_secs(30));
+        assert_eq!(n2, 1);
+    }
+
+    #[test]
+    fn scheduler_clamps_past_events() {
+        struct BadActor {
+            seen: Vec<SimTime>,
+        }
+        impl Actor for BadActor {
+            type Event = bool;
+            fn handle(&mut self, now: SimTime, first: bool, sched: &mut Scheduler<bool>) {
+                self.seen.push(now);
+                if first {
+                    // Tries to schedule one second into the past.
+                    sched.at(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut sim = Simulation::new(BadActor { seen: Vec::new() });
+        sim.schedule(SimTime::from_secs(1), true);
+        sim.run_to_completion();
+        assert_eq!(
+            sim.actor().seen,
+            vec![SimTime::from_secs(1), SimTime::from_secs(1)]
+        );
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_false() {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(1),
+            remaining: 0,
+            fired_at: Vec::new(),
+        });
+        assert!(!sim.step());
+        assert_eq!(sim.processed(), 0);
+    }
+}

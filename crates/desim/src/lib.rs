@@ -1,0 +1,34 @@
+//! Minimal deterministic discrete-event simulation kernel.
+//!
+//! The `adprefetch` end-to-end simulator replays weeks of app-usage traces
+//! for thousands of clients. This crate provides the three pieces that make
+//! such a replay deterministic and fast:
+//!
+//! - [`time`]: a millisecond-resolution simulated clock ([`SimTime`]) and
+//!   duration type ([`SimDuration`]) with calendar helpers (hour of day, day
+//!   index) used by diurnal models.
+//! - [`queue`]: an [`EventQueue`] ordered by time with FIFO tie-breaking, so
+//!   two runs with the same inputs produce byte-identical outputs.
+//! - [`engine`]: a small actor-style driver ([`Simulation`]) for components
+//!   that want an inversion-of-control event loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use adpf_desim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_secs(10), "later");
+//! q.push(SimTime::from_secs(5), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t + SimDuration::from_secs(5), SimTime::from_secs(10));
+//! ```
+
+pub mod engine;
+pub mod queue;
+pub mod time;
+
+pub use engine::{Actor, Scheduler, Simulation};
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};

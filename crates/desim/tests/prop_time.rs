@@ -1,0 +1,48 @@
+//! Property-based tests for simulated time arithmetic.
+
+use adpf_desim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Addition and subtraction of durations round-trip.
+    #[test]
+    fn add_sub_round_trip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_millis(t);
+        let dur = SimDuration::from_millis(d);
+        let t1 = t0 + dur;
+        prop_assert_eq!(t1 - t0, dur);
+        prop_assert_eq!(t1.saturating_sub(dur), t0);
+        prop_assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    /// Calendar helpers are consistent with raw arithmetic.
+    #[test]
+    fn calendar_consistency(t in 0u64..(400 * 24 * 3_600_000u64)) {
+        let time = SimTime::from_millis(t);
+        prop_assert_eq!(time.day_index(), t / 86_400_000);
+        prop_assert!(time.hour_of_day() < 24);
+        prop_assert!(time.day_of_week() < 7);
+        prop_assert_eq!(time.is_weekend(), time.day_of_week() >= 5);
+        // Adding exactly one week preserves day-of-week.
+        let next_week = time + SimDuration::from_days(7);
+        prop_assert_eq!(time.day_of_week(), next_week.day_of_week());
+    }
+
+    /// Float constructors agree with integer ones where exact.
+    #[test]
+    fn float_constructors_agree(secs in 0u64..1_000_000) {
+        prop_assert_eq!(
+            SimDuration::from_secs_f64(secs as f64),
+            SimDuration::from_secs(secs)
+        );
+    }
+
+    /// Ordering matches raw milliseconds.
+    #[test]
+    fn ordering_matches_millis(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (SimTime::from_millis(a), SimTime::from_millis(b));
+        prop_assert_eq!(ta.cmp(&tb), a.cmp(&b));
+        prop_assert_eq!(ta.max(tb).as_millis(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_millis(), a.min(b));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the radio energy model.
+
+use adpf_desim::{SimDuration, SimTime};
+use adpf_energy::{profiles, Radio};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tail energy for a gap is monotone in the gap and saturates at the
+    /// full tail.
+    #[test]
+    fn tail_energy_monotone(gap_a in 0u64..40_000, gap_b in 0u64..40_000) {
+        let p = profiles::umts_3g();
+        let (lo, hi) = if gap_a <= gap_b { (gap_a, gap_b) } else { (gap_b, gap_a) };
+        let e_lo = p.tail_energy_for_gap_j(SimDuration::from_millis(lo));
+        let e_hi = p.tail_energy_for_gap_j(SimDuration::from_millis(hi));
+        prop_assert!(e_lo <= e_hi + 1e-12);
+        prop_assert!(e_hi <= p.full_tail_energy_j() + 1e-12);
+    }
+
+    /// Widening the gap between two transfers never reduces total energy.
+    #[test]
+    fn wider_gaps_cost_no_less(gap_a in 100u64..60_000, gap_b in 100u64..60_000) {
+        let (lo, hi) = if gap_a <= gap_b { (gap_a, gap_b) } else { (gap_b, gap_a) };
+        let run = |gap_ms: u64| {
+            let mut r = Radio::new(profiles::umts_3g());
+            let rec = r.transfer(SimTime::ZERO, 4_096, 512);
+            r.transfer(rec.end + SimDuration::from_millis(gap_ms), 4_096, 512);
+            r.finish(SimTime::from_hours(2)).total_j()
+        };
+        prop_assert!(run(lo) <= run(hi) + 1e-9);
+    }
+
+    /// More bytes never cost less energy, all else equal.
+    #[test]
+    fn energy_monotone_in_bytes(small in 1u64..100_000, extra in 0u64..100_000) {
+        for p in [profiles::umts_3g(), profiles::lte(), profiles::wifi()] {
+            let run = |bytes: u64| {
+                let mut r = Radio::new(p.clone());
+                r.transfer(SimTime::ZERO, bytes, 128);
+                r.finish(SimTime::from_hours(1)).total_j()
+            };
+            prop_assert!(run(small) <= run(small + extra) + 1e-9);
+        }
+    }
+
+    /// The per-transfer marginal energies plus the final tail equal the
+    /// final breakdown total.
+    #[test]
+    fn marginal_energies_are_consistent(
+        gaps in prop::collection::vec(0u64..50_000, 1..30),
+    ) {
+        let mut r = Radio::new(profiles::lte());
+        let mut t = SimTime::ZERO;
+        let mut marginal = 0.0;
+        for &g in &gaps {
+            t += SimDuration::from_millis(g);
+            marginal += r.transfer(t, 2_048, 256).energy_j;
+        }
+        let before_flush = marginal;
+        let total = r.finish(t + SimDuration::from_hours(1)).total_j();
+        // The final tail is the only energy not charged to a transfer.
+        let final_tail = r.profile().full_tail_energy_j();
+        prop_assert!(total >= before_flush - 1e-9);
+        prop_assert!(total <= before_flush + final_tail + 1e-9);
+    }
+}

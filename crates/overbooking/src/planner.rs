@@ -1,0 +1,285 @@
+//! Replica-set construction policies.
+
+use crate::availability::ClientAvailability;
+use crate::estimator::{expected_duplicates, sla_violation_prob};
+
+/// A chosen replica set for one pre-sold ad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Chosen client ids, in placement order.
+    pub clients: Vec<u32>,
+    /// Per-chosen-client display probabilities (aligned with `clients`).
+    pub probs: Vec<f64>,
+    /// `P(shown before deadline)` for this set.
+    pub success_prob: f64,
+    /// Expected duplicate displays without cancellation.
+    pub expected_duplicates: f64,
+}
+
+impl Plan {
+    fn from_choice(chosen: Vec<(u32, f64)>) -> Self {
+        let (clients, probs): (Vec<u32>, Vec<f64>) = chosen.into_iter().unzip();
+        let success_prob = 1.0 - sla_violation_prob(&probs);
+        let expected_duplicates = expected_duplicates(&probs);
+        Self {
+            clients,
+            probs,
+            success_prob,
+            expected_duplicates,
+        }
+    }
+
+    /// An empty plan (the ad is left unplaced).
+    pub fn empty() -> Self {
+        Self {
+            clients: Vec::new(),
+            probs: Vec::new(),
+            success_prob: 0.0,
+            expected_duplicates: 0.0,
+        }
+    }
+
+    /// Replication factor.
+    pub fn replicas(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// A policy that picks replica holders for one ad.
+pub trait ReplicationPlanner {
+    /// Chooses a replica set from `candidates` aiming for
+    /// `P(shown) >= sla_target`, using at most `max_replicas` holders.
+    ///
+    /// Candidates may arrive in any order and may include zero-probability
+    /// clients; planners must tolerate both.
+    fn plan(&self, candidates: &[ClientAvailability], sla_target: f64, max_replicas: usize)
+        -> Plan;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's planner: take clients in decreasing availability until the
+/// SLA target is met (or replicas run out).
+///
+/// Sorting by availability minimizes the number of replicas — and therefore
+/// the expected duplicates — needed to reach a given success probability,
+/// because the highest-probability holder contributes the largest single
+/// factor to `1 - prod(1 - p_i)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPlanner;
+
+impl ReplicationPlanner for GreedyPlanner {
+    fn plan(
+        &self,
+        candidates: &[ClientAvailability],
+        sla_target: f64,
+        max_replicas: usize,
+    ) -> Plan {
+        let target = sla_target.clamp(0.0, 1.0);
+        let mut sorted: Vec<&ClientAvailability> =
+            candidates.iter().filter(|c| c.prob > 0.0).collect();
+        sorted.sort_by(|a, b| {
+            b.prob
+                .partial_cmp(&a.prob)
+                .expect("probabilities are finite")
+                .then(a.client.cmp(&b.client))
+        });
+        let mut chosen = Vec::new();
+        let mut violation = 1.0;
+        for c in sorted {
+            if chosen.len() >= max_replicas {
+                break;
+            }
+            if !chosen.is_empty() && 1.0 - violation >= target {
+                break;
+            }
+            chosen.push((c.client, c.prob));
+            violation *= 1.0 - c.prob;
+        }
+        Plan::from_choice(chosen)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// Always replicates to exactly `k` holders (highest availability first),
+/// regardless of the SLA target — the static-overbooking ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedFactorPlanner {
+    /// Replication factor.
+    pub k: usize,
+}
+
+impl ReplicationPlanner for FixedFactorPlanner {
+    fn plan(
+        &self,
+        candidates: &[ClientAvailability],
+        _sla_target: f64,
+        max_replicas: usize,
+    ) -> Plan {
+        let mut sorted: Vec<&ClientAvailability> =
+            candidates.iter().filter(|c| c.prob > 0.0).collect();
+        sorted.sort_by(|a, b| {
+            b.prob
+                .partial_cmp(&a.prob)
+                .expect("probabilities are finite")
+                .then(a.client.cmp(&b.client))
+        });
+        let take = self.k.min(max_replicas);
+        Plan::from_choice(
+            sorted
+                .iter()
+                .take(take)
+                .map(|c| (c.client, c.prob))
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-k"
+    }
+}
+
+/// Never replicates — the no-overbooking ablation. Callers that keep a
+/// primary copy elsewhere get zero insurance replicas from this planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReplicationPlanner;
+
+impl ReplicationPlanner for NoReplicationPlanner {
+    fn plan(
+        &self,
+        _candidates: &[ClientAvailability],
+        _sla_target: f64,
+        _max_replicas: usize,
+    ) -> Plan {
+        Plan::empty()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Places exactly one copy on the best client — the no-overbooking
+/// ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleCopyPlanner;
+
+impl ReplicationPlanner for SingleCopyPlanner {
+    fn plan(
+        &self,
+        candidates: &[ClientAvailability],
+        sla_target: f64,
+        max_replicas: usize,
+    ) -> Plan {
+        FixedFactorPlanner { k: 1 }.plan(candidates, sla_target, max_replicas)
+    }
+
+    fn name(&self) -> &'static str {
+        "single"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(probs: &[f64]) -> Vec<ClientAvailability> {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ClientAvailability {
+                client: i as u32,
+                prob: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_meets_target_with_fewest_replicas() {
+        let c = cands(&[0.2, 0.9, 0.5, 0.3]);
+        let plan = GreedyPlanner.plan(&c, 0.9, 10);
+        // The 0.9 client alone meets the target.
+        assert_eq!(plan.clients, vec![1]);
+        assert!((plan.success_prob - 0.9).abs() < 1e-12);
+        assert_eq!(plan.expected_duplicates, 0.0);
+    }
+
+    #[test]
+    fn greedy_stacks_replicas_for_high_targets() {
+        let c = cands(&[0.5, 0.5, 0.5, 0.5, 0.5]);
+        let plan = GreedyPlanner.plan(&c, 0.95, 10);
+        // Need 1 - 0.5^k >= 0.95 → k = 5.
+        assert_eq!(plan.replicas(), 5);
+        assert!(plan.success_prob >= 0.95);
+    }
+
+    #[test]
+    fn greedy_respects_replica_cap() {
+        let c = cands(&[0.1; 20]);
+        let plan = GreedyPlanner.plan(&c, 0.999, 4);
+        assert_eq!(plan.replicas(), 4);
+        assert!(plan.success_prob < 0.999);
+    }
+
+    #[test]
+    fn greedy_skips_zero_probability_clients() {
+        let c = cands(&[0.0, 0.0, 0.6]);
+        let plan = GreedyPlanner.plan(&c, 0.99, 10);
+        assert_eq!(plan.clients, vec![2]);
+    }
+
+    #[test]
+    fn greedy_with_no_candidates_is_empty() {
+        let plan = GreedyPlanner.plan(&[], 0.9, 5);
+        assert_eq!(plan.replicas(), 0);
+        assert_eq!(plan.success_prob, 0.0);
+        let plan = GreedyPlanner.plan(&cands(&[0.0, 0.0]), 0.9, 5);
+        assert_eq!(plan.replicas(), 0);
+    }
+
+    #[test]
+    fn greedy_always_places_at_least_one_when_possible() {
+        // Even with a 0.0 target, a sold ad should be placed somewhere.
+        let plan = GreedyPlanner.plan(&cands(&[0.4]), 0.0, 5);
+        assert_eq!(plan.replicas(), 1);
+    }
+
+    #[test]
+    fn fixed_factor_ignores_target() {
+        let c = cands(&[0.9, 0.8, 0.7, 0.6]);
+        let plan = FixedFactorPlanner { k: 3 }.plan(&c, 0.1, 10);
+        assert_eq!(plan.clients, vec![0, 1, 2]);
+        let plan = FixedFactorPlanner { k: 3 }.plan(&c, 0.99999, 2);
+        assert_eq!(plan.replicas(), 2, "cap still applies");
+    }
+
+    #[test]
+    fn single_copy_picks_best() {
+        let c = cands(&[0.2, 0.7, 0.5]);
+        let plan = SingleCopyPlanner.plan(&c, 0.99, 10);
+        assert_eq!(plan.clients, vec![1]);
+        assert!((plan.success_prob - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let c = cands(&[0.5, 0.5, 0.5]);
+        let a = GreedyPlanner.plan(&c, 0.74, 10);
+        let b = GreedyPlanner.plan(&c, 0.74, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.clients, vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_duplicates_grow_with_target() {
+        let c = cands(&[0.5; 10]);
+        let lo = GreedyPlanner.plan(&c, 0.5, 10);
+        let hi = GreedyPlanner.plan(&c, 0.99, 10);
+        assert!(hi.expected_duplicates > lo.expected_duplicates);
+        assert!(hi.success_prob > lo.success_prob);
+    }
+}

@@ -1,0 +1,182 @@
+//! Replica reconciliation: first-display wins, the rest get cancelled.
+//!
+//! Replication makes duplicates *possible*; the reconciliation protocol
+//! keeps them *rare*. When a client reports a display at its next sync, the
+//! server queues cancellations for every other holder of the same ad. A
+//! holder that syncs before showing the ad drops it; only holders that show
+//! the ad inside the sync delay produce a real duplicate. The end-to-end
+//! simulator measures exactly that residual.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Disposition of a reported display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisplayDisposition {
+    /// First display of this ad anywhere.
+    First,
+    /// The ad had already been displayed by another client.
+    Duplicate,
+    /// The ad is not tracked (already removed or never registered).
+    Unknown,
+}
+
+#[derive(Debug)]
+struct AdReplicas {
+    holders: Vec<u32>,
+    displayed_by: Option<u32>,
+}
+
+/// Tracks which clients hold replicas of which ads and queues
+/// cancellations after the first display.
+#[derive(Debug, Default)]
+pub struct ReplicaTracker {
+    ads: HashMap<u64, AdReplicas>,
+    pending_cancel: HashMap<u32, Vec<u64>>,
+}
+
+impl ReplicaTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an ad replicated across `holders`.
+    pub fn register(&mut self, ad: u64, holders: &[u32]) {
+        match self.ads.entry(ad) {
+            Entry::Vacant(v) => {
+                v.insert(AdReplicas {
+                    holders: holders.to_vec(),
+                    displayed_by: None,
+                });
+            }
+            Entry::Occupied(_) => {
+                debug_assert!(false, "ad {ad} registered twice");
+            }
+        }
+    }
+
+    /// Records that `client` displayed `ad`; on the first display, queues
+    /// cancellations for every other holder.
+    pub fn record_display(&mut self, ad: u64, client: u32) -> DisplayDisposition {
+        let Some(entry) = self.ads.get_mut(&ad) else {
+            return DisplayDisposition::Unknown;
+        };
+        match entry.displayed_by {
+            None => {
+                entry.displayed_by = Some(client);
+                for &h in &entry.holders {
+                    if h != client {
+                        self.pending_cancel.entry(h).or_default().push(ad);
+                    }
+                }
+                DisplayDisposition::First
+            }
+            Some(_) => DisplayDisposition::Duplicate,
+        }
+    }
+
+    /// Takes (and clears) the cancellation list for `client` — called when
+    /// the client syncs.
+    pub fn take_cancellations(&mut self, client: u32) -> Vec<u64> {
+        self.pending_cancel.remove(&client).unwrap_or_default()
+    }
+
+    /// Stops tracking an ad (its deadline passed); outstanding queued
+    /// cancellations remain valid hints for holders.
+    pub fn remove(&mut self, ad: u64) {
+        self.ads.remove(&ad);
+    }
+
+    /// Clients holding replicas of `ad`, if tracked.
+    pub fn holders(&self, ad: u64) -> Option<&[u32]> {
+        self.ads.get(&ad).map(|e| e.holders.as_slice())
+    }
+
+    /// Whether the ad has been displayed at least once.
+    pub fn is_displayed(&self, ad: u64) -> bool {
+        self.ads
+            .get(&ad)
+            .map(|e| e.displayed_by.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Number of tracked ads.
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// Returns `true` when no ads are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_display_cancels_other_holders() {
+        let mut t = ReplicaTracker::new();
+        t.register(7, &[1, 2, 3]);
+        assert_eq!(t.record_display(7, 2), DisplayDisposition::First);
+        assert!(t.is_displayed(7));
+        assert_eq!(t.take_cancellations(1), vec![7]);
+        assert_eq!(t.take_cancellations(3), vec![7]);
+        // The displaying client gets no cancellation.
+        assert!(t.take_cancellations(2).is_empty());
+        // Cancellations are consumed.
+        assert!(t.take_cancellations(1).is_empty());
+    }
+
+    #[test]
+    fn later_displays_are_duplicates() {
+        let mut t = ReplicaTracker::new();
+        t.register(1, &[10, 11]);
+        assert_eq!(t.record_display(1, 10), DisplayDisposition::First);
+        assert_eq!(t.record_display(1, 11), DisplayDisposition::Duplicate);
+        assert_eq!(t.record_display(1, 10), DisplayDisposition::Duplicate);
+    }
+
+    #[test]
+    fn unknown_ads_are_flagged() {
+        let mut t = ReplicaTracker::new();
+        assert_eq!(t.record_display(5, 1), DisplayDisposition::Unknown);
+        t.register(5, &[1]);
+        t.remove(5);
+        assert_eq!(t.record_display(5, 1), DisplayDisposition::Unknown);
+        assert!(!t.is_displayed(5));
+    }
+
+    #[test]
+    fn cancellations_accumulate_across_ads() {
+        let mut t = ReplicaTracker::new();
+        t.register(1, &[1, 2]);
+        t.register(2, &[1, 3]);
+        t.record_display(1, 2);
+        t.record_display(2, 3);
+        let mut c = t.take_cancellations(1);
+        c.sort_unstable();
+        assert_eq!(c, vec![1, 2]);
+    }
+
+    #[test]
+    fn single_holder_needs_no_cancellation() {
+        let mut t = ReplicaTracker::new();
+        t.register(9, &[4]);
+        assert_eq!(t.record_display(9, 4), DisplayDisposition::First);
+        assert!(t.take_cancellations(4).is_empty());
+    }
+
+    #[test]
+    fn len_tracks_registration_and_removal() {
+        let mut t = ReplicaTracker::new();
+        assert!(t.is_empty());
+        t.register(1, &[1]);
+        t.register(2, &[2]);
+        assert_eq!(t.len(), 2);
+        t.remove(1);
+        assert_eq!(t.len(), 1);
+    }
+}

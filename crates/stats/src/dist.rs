@@ -1,0 +1,653 @@
+//! Random-variate generators implemented in-tree.
+//!
+//! Only the uniform source comes from [`rand`]; every transformation to a
+//! non-uniform law lives here so that the whole simulation stack depends on
+//! one small, documented sampling layer.
+
+use rand::Rng;
+
+use crate::ParamError;
+
+/// A distribution from which values of type `T` can be sampled.
+///
+/// This mirrors `rand::distributions::Distribution` but is defined locally so
+/// the workspace controls every sampling algorithm (and therefore the exact
+/// stream of variates produced by a given seed).
+pub trait Distribution<T> {
+    /// Draws one sample using `rng` as the uniform randomness source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Normal (Gaussian) distribution sampled with the Marsaglia polar method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation; strictly positive.
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// Returns an error if `std_dev` is not finite and positive.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        let valid = std_dev.is_finite() && std_dev > 0.0 && mean.is_finite();
+        if !valid {
+            return Err(ParamError {
+                reason: "Normal requires finite mean and std_dev > 0",
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Samples a standard normal variate.
+    pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Marsaglia polar method: draw points uniformly in the unit square
+        // until one falls inside the unit circle, then transform.
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard_sample(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal; strictly positive.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        let valid = sigma.is_finite() && sigma > 0.0 && mu.is_finite();
+        if !valid {
+            return Err(ParamError {
+                reason: "LogNormal requires finite mu and sigma > 0",
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal with the given arithmetic mean and coefficient of
+    /// variation (`std / mean`).
+    ///
+    /// This is the natural way to specify workload knobs ("mean session
+    /// length 80 s, CV 1.2") without solving for `mu`/`sigma` by hand.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Self, ParamError> {
+        let valid = mean.is_finite() && mean > 0.0 && cv.is_finite() && cv > 0.0;
+        if !valid {
+            return Err(ParamError {
+                reason: "LogNormal::from_mean_cv requires mean > 0 and cv > 0",
+            });
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Arithmetic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Median of the distribution (`exp(mu)`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard_sample(rng)).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter; strictly positive.
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ParamError {
+                reason: "Exponential requires rate > 0",
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn from_mean(mean: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(ParamError {
+                reason: "Exponential requires mean > 0",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -ln(1 - U) / lambda; `gen` draws from [0, 1).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (scale); strictly positive.
+    pub x_min: f64,
+    /// Tail exponent (shape); strictly positive.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, ParamError> {
+        let valid = x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0;
+        if !valid {
+            return Err(ParamError {
+                reason: "Pareto requires x_min > 0 and alpha > 0",
+            });
+        }
+        Ok(Self { x_min, alpha })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampling uses a precomputed cumulative table and binary search, which is
+/// exact and fast for the rank counts used in this workspace (hundreds of
+/// apps, thousands of users).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError {
+                reason: "Zipf requires n >= 1",
+            });
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError {
+                reason: "Zipf requires finite s >= 0",
+            });
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point drift so the final bucket always
+        // covers u = 1 - epsilon.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cumulative })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` when the distribution has no ranks (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cumulative.len() {
+            return 0.0;
+        }
+        let hi = self.cumulative[k - 1];
+        let lo = if k >= 2 { self.cumulative[k - 2] } else { 0.0 };
+        hi - lo
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    /// Samples a 1-based rank.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative table is finite"))
+        {
+            // On an exact boundary hit the draw belongs to the next rank,
+            // which matches the half-open bucket convention used below.
+            Ok(i) | Err(i) => (i + 1).min(self.cumulative.len()),
+        }
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// with continuity correction for large means, which keeps sampling O(1)
+/// across the full range used by the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    /// Mean (and variance); non-negative.
+    pub lambda: f64,
+}
+
+impl Poisson {
+    /// Mean above which the normal approximation is used.
+    const NORMAL_APPROX_THRESHOLD: f64 = 64.0;
+
+    /// Creates a Poisson distribution with the given mean.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(ParamError {
+                reason: "Poisson requires finite lambda >= 0",
+            });
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<u64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < Self::NORMAL_APPROX_THRESHOLD {
+            // Knuth: count uniform draws until their product drops below
+            // exp(-lambda).
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                count += 1;
+            }
+            count
+        } else {
+            let x = self.lambda + self.lambda.sqrt() * Normal::standard_sample(rng);
+            x.round().max(0.0) as u64
+        }
+    }
+}
+
+/// Bernoulli distribution returning `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    /// Success probability in `[0, 1]`.
+    pub p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError {
+                reason: "Bernoulli requires p in [0, 1]",
+            });
+        }
+        Ok(Self { p })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+/// Binomial distribution: number of successes in `n` Bernoulli(`p`) trials.
+///
+/// Uses direct simulation for small `n` and a normal approximation with
+/// continuity correction otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    /// Number of trials.
+    pub n: u64,
+    /// Per-trial success probability in `[0, 1]`.
+    pub p: f64,
+}
+
+impl Binomial {
+    /// Trial count above which the normal approximation is used.
+    const NORMAL_APPROX_THRESHOLD: u64 = 256;
+
+    /// Creates a binomial distribution.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError {
+                reason: "Binomial requires p in [0, 1]",
+            });
+        }
+        Ok(Self { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        if self.n <= Self::NORMAL_APPROX_THRESHOLD {
+            let mut successes = 0;
+            for _ in 0..self.n {
+                if rng.gen::<f64>() < self.p {
+                    successes += 1;
+                }
+            }
+            successes
+        } else {
+            let mean = self.n as f64 * self.p;
+            let std = (mean * (1.0 - self.p)).sqrt();
+            let x = mean + std * Normal::standard_sample(rng);
+            x.round().clamp(0.0, self.n as f64) as u64
+        }
+    }
+}
+
+/// Discrete distribution over indices `0..weights.len()` with arbitrary
+/// non-negative weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Creates a discrete distribution proportional to `weights`.
+    ///
+    /// Returns an error if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError {
+                reason: "Discrete requires at least one weight",
+            });
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(ParamError {
+                    reason: "Discrete requires finite weights >= 0",
+                });
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(ParamError {
+                reason: "Discrete requires a positive total weight",
+            });
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` when the distribution has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of category `i` (0-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i >= self.cumulative.len() {
+            return 0.0;
+        }
+        let hi = self.cumulative[i];
+        let lo = if i >= 1 { self.cumulative[i - 1] } else { 0.0 };
+        hi - lo
+    }
+}
+
+impl Distribution<usize> for Discrete {
+    /// Samples a 0-based category index.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative table is finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xad5_beef)
+    }
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 50_000);
+        let m = mean_of(&xs);
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_from_mean_cv_hits_mean() {
+        let d = LogNormal::from_mean_cv(42.0, 1.5).unwrap();
+        assert!((d.mean() - 42.0).abs() < 1e-9);
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 200_000);
+        let m = mean_of(&xs);
+        assert!((m - 42.0).abs() < 1.5, "empirical mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_below_mean() {
+        let d = LogNormal::from_mean_cv(10.0, 2.0).unwrap();
+        assert!(d.median() < d.mean());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(3.0).unwrap();
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 100_000);
+        assert!((mean_of(&xs) - 3.0).abs() < 0.05);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let d = Pareto::new(2.0, 2.5).unwrap();
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 10_000);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Mean of Pareto(x_min, alpha) is x_min * alpha / (alpha - 1).
+        let expected = 2.0 * 2.5 / 1.5;
+        assert!((mean_of(&xs) - expected).abs() < 0.15);
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut r = rng();
+        let mut counts = vec![0u32; 101];
+        for _ in 0..50_000 {
+            let k: usize = d.sample(&mut r);
+            assert!((1..=100).contains(&k));
+            counts[k] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // PMF of rank 1 under Zipf(100, 1) is 1 / H_100 ~ 0.1928.
+        let p1 = counts[1] as f64 / 50_000.0;
+        assert!((p1 - d.pmf(1)).abs() < 0.01, "p1 {p1} vs {}", d.pmf(1));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let d = Zipf::new(37, 0.8).unwrap();
+        let total: f64 = (1..=37).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(d.pmf(0), 0.0);
+        assert_eq!(d.pmf(38), 0.0);
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut r = rng();
+        for &lambda in &[0.5, 4.0, 20.0, 200.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let xs: Vec<u64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+            let m = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+            assert!(
+                (m - lambda).abs() < 3.0 * (lambda / 40_000.0).sqrt() + 0.5,
+                "lambda {lambda} empirical {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let d = Poisson::new(0.0).unwrap();
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let d = Bernoulli::new(0.3).unwrap();
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| d.sample(&mut r)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn bernoulli_rejects_out_of_range() {
+        assert!(Bernoulli::new(-0.01).is_err());
+        assert!(Bernoulli::new(1.01).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn binomial_edges_and_mean() {
+        let mut r = rng();
+        assert_eq!(Binomial::new(10, 0.0).unwrap().sample(&mut r), 0);
+        assert_eq!(Binomial::new(10, 1.0).unwrap().sample(&mut r), 10);
+        for &n in &[50u64, 2_000] {
+            let d = Binomial::new(n, 0.25).unwrap();
+            let xs: Vec<u64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+            let m = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+            let expected = n as f64 * 0.25;
+            assert!((m - expected).abs() < expected * 0.05 + 0.5, "n {n} m {m}");
+            assert!(xs.iter().all(|&x| x <= n));
+        }
+    }
+
+    #[test]
+    fn discrete_matches_weights() {
+        let d = Discrete::new(&[1.0, 3.0, 6.0]).unwrap();
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..60_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert!((counts[0] as f64 / 60_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 60_000.0 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / 60_000.0 - 0.6).abs() < 0.01);
+        assert!((d.pmf(2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_rejects_degenerate_weights() {
+        assert!(Discrete::new(&[]).is_err());
+        assert!(Discrete::new(&[0.0, 0.0]).is_err());
+        assert!(Discrete::new(&[1.0, -1.0]).is_err());
+        assert!(Discrete::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn zipf_zero_ranks_rejected() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LogNormal::from_mean_cv(5.0, 0.7).unwrap();
+        let a = d.sample_n(&mut StdRng::seed_from_u64(9), 32);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(9), 32);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Empirical cumulative distribution functions.
+
+use crate::summary::quantile_sorted;
+
+/// An empirical CDF built from a finite sample.
+///
+/// Evaluation uses the right-continuous step convention
+/// `F(x) = |{ i : x_i <= x }| / n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample; non-finite values are dropped.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        xs.retain(|x| x.is_finite());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        Self { sorted: xs }
+    }
+
+    /// Number of (finite) observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the ECDF holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x)`; returns `0.0` for an empty ECDF.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the `q`-quantile (with interpolation); `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Iterates the ECDF's step points as `(x, F(x))` pairs, one per
+    /// distinct observation — convenient for printing figure series.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < n && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Downsamples [`Ecdf::points`] to at most `max_points` evenly spaced
+    /// probability levels, preserving the first and last point.
+    pub fn points_downsampled(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let pts = self.points();
+        if pts.len() <= max_points || max_points < 2 {
+            return pts;
+        }
+        let mut out = Vec::with_capacity(max_points);
+        for k in 0..max_points {
+            let idx = k * (pts.len() - 1) / (max_points - 1);
+            out.push(pts[idx]);
+        }
+        out.dedup_by(|a, b| a.0 == b.0);
+        out
+    }
+
+    /// Kolmogorov–Smirnov statistic between two ECDFs: the maximum absolute
+    /// difference of the two step functions.
+    pub fn ks_statistic(&self, other: &Ecdf) -> f64 {
+        let mut max_diff: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            max_diff = max_diff.max((self.cdf(x) - other.cdf(x)).abs());
+        }
+        max_diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_steps_correctly() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_ecdf() {
+        let e = Ecdf::new(vec![f64::NAN]);
+        assert!(e.is_empty());
+        assert_eq!(e.cdf(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), 0.0);
+        assert!(e.points().is_empty());
+    }
+
+    #[test]
+    fn points_collapse_duplicates() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pts[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn downsampling_preserves_extremes() {
+        let e = Ecdf::new((0..1000).map(|i| i as f64).collect());
+        let pts = e.points_downsampled(11);
+        assert!(pts.len() <= 11);
+        assert_eq!(pts.first().unwrap().0, 0.0);
+        assert_eq!(pts.last().unwrap().0, 999.0);
+    }
+
+    #[test]
+    fn ks_of_identical_samples_is_zero() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_statistic(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_of_disjoint_samples_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![10.0, 20.0]);
+        assert!((a.ks_statistic(&b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the sampling distributions.
+
+use adpf_stats::dist::{
+    Bernoulli, Binomial, Discrete, Distribution, Exponential, LogNormal, Normal, Pareto, Poisson,
+    Zipf,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Positive-support distributions only produce positive values, and
+    /// sampling is deterministic per seed.
+    #[test]
+    fn positive_support_and_determinism(
+        mean in 0.1f64..1_000.0,
+        cv in 0.05f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let d = LogNormal::from_mean_cv(mean, cv).unwrap();
+        let a = d.sample_n(&mut StdRng::seed_from_u64(seed), 64);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(seed), 64);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&x| x > 0.0 && x.is_finite()));
+
+        let e = Exponential::from_mean(mean).unwrap();
+        let xs = e.sample_n(&mut StdRng::seed_from_u64(seed), 64);
+        prop_assert!(xs.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    /// Pareto samples never fall below the scale parameter.
+    #[test]
+    fn pareto_respects_scale(x_min in 0.01f64..100.0, alpha in 0.2f64..10.0, seed in any::<u64>()) {
+        let d = Pareto::new(x_min, alpha).unwrap();
+        let xs = d.sample_n(&mut StdRng::seed_from_u64(seed), 128);
+        prop_assert!(xs.iter().all(|&x| x >= x_min));
+    }
+
+    /// Zipf ranks stay in range and the pmf sums to one.
+    #[test]
+    fn zipf_ranks_in_range(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let d = Zipf::new(n, s).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let k: usize = d.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+        let total: f64 = (1..=n).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Poisson and binomial samples respect their supports.
+    #[test]
+    fn counting_distributions_in_support(
+        lambda in 0.0f64..300.0,
+        n in 0u64..5_000,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _pois: u64 = Poisson::new(lambda).unwrap().sample(&mut rng);
+        let b: u64 = Binomial::new(n, p).unwrap().sample(&mut rng);
+        prop_assert!(b <= n);
+        let bern = Bernoulli::new(p).unwrap();
+        let _: bool = bern.sample(&mut rng);
+    }
+
+    /// Discrete distributions only emit categories with positive weight.
+    #[test]
+    fn discrete_avoids_zero_weight_categories(
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let d = Discrete::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..128 {
+            let i: usize = d.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {i}");
+        }
+    }
+
+    /// Normal samples are finite and the constructor rejects bad input.
+    #[test]
+    fn normal_is_finite(mean in -1e6f64..1e6, std in 0.001f64..1e3, seed in any::<u64>()) {
+        let d = Normal::new(mean, std).unwrap();
+        let xs = d.sample_n(&mut StdRng::seed_from_u64(seed), 64);
+        prop_assert!(xs.iter().all(|x| x.is_finite()));
+        prop_assert!(Normal::new(mean, -std).is_err());
+    }
+}

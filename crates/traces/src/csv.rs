@@ -1,0 +1,236 @@
+//! Plain-text trace serialization.
+//!
+//! Format: a header line `user,app,start_ms,duration_ms` followed by one
+//! session per line. The format is deliberately trivial so that real usage
+//! traces (the paper's proprietary datasets, or any modern equivalent) can
+//! be converted and dropped into the simulator without code changes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use adpf_desim::{SimDuration, SimTime};
+
+use crate::model::{AppId, Session, Trace, UserId};
+
+/// Header line of the trace format.
+pub const HEADER: &str = "user,app,start_ms,duration_ms";
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content at a specific (1-based) line.
+    Parse {
+        /// Line number of the offending record.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "trace I/O error: {e}"),
+            CsvError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a trace to `w` in the CSV format.
+///
+/// A `#meta` comment line carries the population size and horizon, which
+/// cannot be reconstructed from the sessions alone (trailing silent users
+/// and trailing idle time would be lost).
+pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> Result<(), CsvError> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(
+        w,
+        "#meta,users={},horizon_ms={}",
+        trace.num_users(),
+        trace.horizon().as_millis()
+    )?;
+    for s in trace.sessions() {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            s.user.0,
+            s.app.0,
+            s.start.as_millis(),
+            s.duration.as_millis()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`.
+///
+/// When the `#meta` line is absent (hand-authored files), the population
+/// size is inferred as `max(user id) + 1` and the horizon as the last
+/// session end; both can be widened by rebuilding with [`Trace::new`].
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, CsvError> {
+    let reader = BufReader::new(r);
+    let mut sessions = Vec::new();
+    let mut max_user = 0u32;
+    let mut meta_users: Option<u32> = None;
+    let mut meta_horizon: Option<u64> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("#meta,") {
+            for field in rest.split(',') {
+                if let Some(v) = field.strip_prefix("users=") {
+                    meta_users = Some(parse_field(v, "users", line_no)?);
+                } else if let Some(v) = field.strip_prefix("horizon_ms=") {
+                    meta_horizon = Some(parse_field(v, "horizon_ms", line_no)?);
+                }
+            }
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue; // Other comments are ignored.
+        }
+        if idx == 0 {
+            if trimmed != HEADER {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    reason: format!("expected header `{HEADER}`, got `{trimmed}`"),
+                });
+            }
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let mut next_field = |name: &str| {
+            fields.next().ok_or_else(|| CsvError::Parse {
+                line: line_no,
+                reason: format!("missing field `{name}`"),
+            })
+        };
+        let user: u32 = parse_field(next_field("user")?, "user", line_no)?;
+        let app: u16 = parse_field(next_field("app")?, "app", line_no)?;
+        let start: u64 = parse_field(next_field("start_ms")?, "start_ms", line_no)?;
+        let duration: u64 = parse_field(next_field("duration_ms")?, "duration_ms", line_no)?;
+        if fields.next().is_some() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                reason: "too many fields".to_string(),
+            });
+        }
+        max_user = max_user.max(user);
+        sessions.push(Session {
+            user: UserId(user),
+            app: AppId(app),
+            start: SimTime::from_millis(start),
+            duration: SimDuration::from_millis(duration),
+        });
+    }
+    let inferred_users = if sessions.is_empty() { 0 } else { max_user + 1 };
+    let num_users = meta_users.unwrap_or(inferred_users).max(inferred_users);
+    let horizon = SimTime::from_millis(meta_horizon.unwrap_or(0));
+    Ok(Trace::new(sessions, num_users, horizon))
+}
+
+fn parse_field<T: std::str::FromStr>(s: &str, name: &str, line: usize) -> Result<T, CsvError> {
+    s.trim().parse().map_err(|_| CsvError::Parse {
+        line,
+        reason: format!("invalid `{name}` value `{s}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::PopulationConfig;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = PopulationConfig::small_test(17).generate();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back, "metadata line preserves users and horizon");
+    }
+
+    #[test]
+    fn files_without_meta_are_inferred() {
+        let data = format!("{HEADER}\n3,1,1000,2000\n");
+        let t = read_trace(data.as_bytes()).unwrap();
+        assert_eq!(t.num_users(), 4);
+        assert_eq!(t.horizon().as_millis(), 3000);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace("nope\n1,2,3,4\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let data = format!("{HEADER}\n1,2,3\n");
+        let err = read_trace(data.as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("duration_ms"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_extra_fields_and_garbage() {
+        let data = format!("{HEADER}\n1,2,3,4,5\n");
+        assert!(read_trace(data.as_bytes()).is_err());
+        let data = format!("{HEADER}\nx,2,3,4\n");
+        assert!(read_trace(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = format!("{HEADER}\n\n0,1,1000,2000\n\n");
+        let t = read_trace(data.as_bytes()).unwrap();
+        assert_eq!(t.sessions().len(), 1);
+        assert_eq!(t.num_users(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let t = read_trace("".as_bytes()).unwrap();
+        assert_eq!(t.sessions().len(), 0);
+        assert_eq!(t.num_users(), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::Parse {
+            line: 3,
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Synthetic population generator.
+//!
+//! Generates per-user app-session traces with the statistical structure the
+//! paper's mechanisms exploit and are stressed by:
+//!
+//! - **Diurnal rhythm**: sessions concentrate in waking hours with lunch and
+//!   evening peaks, so slot demand is time-of-day predictable.
+//! - **Weekday/weekend modulation**: weekend activity differs by a
+//!   configurable factor.
+//! - **User heterogeneity**: per-user session rates are lognormal, so a few
+//!   heavy users contribute a large share of slots (heavy tail).
+//! - **Burstiness**: daily session counts are Poisson around the user's
+//!   modulated rate, and session lengths are lognormal, making short-window
+//!   slot counts genuinely hard to predict — which is what forces the
+//!   overbooking machinery to earn its keep.
+//!
+//! Every draw comes from a per-user RNG seeded from the population seed and
+//! the user id, so traces are reproducible and stable under population-size
+//! changes (user 7's sessions do not change when users 8.. are added).
+
+use adpf_desim::{SimDuration, SimTime};
+use adpf_stats::dist::{Discrete, Distribution, LogNormal, Poisson, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{AppId, Session, Trace, UserId};
+
+/// Configuration of a synthetic user population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of users.
+    pub num_users: u32,
+    /// Trace length in days.
+    pub days: u32,
+    /// Number of distinct apps in the marketplace.
+    pub num_apps: u16,
+    /// Zipf exponent of app popularity.
+    pub app_zipf_exponent: f64,
+    /// Population-mean app sessions per user per weekday.
+    pub mean_sessions_per_day: f64,
+    /// Coefficient of variation of per-user session rates (heterogeneity).
+    pub user_rate_cv: f64,
+    /// Mean session duration in seconds.
+    pub mean_session_secs: f64,
+    /// Coefficient of variation of session durations.
+    pub session_cv: f64,
+    /// Relative weight of each hour of day for session starts.
+    pub hour_weights: [f64; 24],
+    /// Multiplier applied to weekend session rates.
+    pub weekend_factor: f64,
+    /// Coefficient of variation of per-user perturbation of the hour
+    /// profile (0 disables personalization).
+    pub user_hour_jitter_cv: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PopulationConfig {
+    /// A waking-hours profile with lunch and evening peaks.
+    pub fn default_hour_weights() -> [f64; 24] {
+        [
+            0.2, 0.1, 0.05, 0.05, 0.05, 0.1, // 00–05: night.
+            0.4, 0.9, 1.3, 1.2, 1.1, 1.4, // 06–11: morning ramp.
+            1.8, 1.5, 1.2, 1.2, 1.3, 1.6, // 12–17: lunch peak, afternoon.
+            2.0, 2.4, 2.6, 2.2, 1.4, 0.6, // 18–23: evening peak.
+        ]
+    }
+
+    /// Population shaped like the paper's iPhone dataset: 1,693 users.
+    pub fn iphone_like(seed: u64) -> Self {
+        Self {
+            num_users: 1_693,
+            days: 28,
+            num_apps: 300,
+            app_zipf_exponent: 1.0,
+            mean_sessions_per_day: 11.0,
+            user_rate_cv: 1.0,
+            mean_session_secs: 110.0,
+            session_cv: 1.3,
+            hour_weights: Self::default_hour_weights(),
+            weekend_factor: 1.15,
+            user_hour_jitter_cv: 0.4,
+            seed,
+        }
+    }
+
+    /// Population shaped like the paper's Windows Phone in-lab dataset:
+    /// a few dozen users logged over several weeks.
+    pub fn windows_phone_like(seed: u64) -> Self {
+        Self {
+            num_users: 60,
+            days: 28,
+            num_apps: 120,
+            app_zipf_exponent: 1.1,
+            mean_sessions_per_day: 14.0,
+            user_rate_cv: 0.8,
+            mean_session_secs: 130.0,
+            session_cv: 1.2,
+            hour_weights: Self::default_hour_weights(),
+            weekend_factor: 1.2,
+            user_hour_jitter_cv: 0.35,
+            seed,
+        }
+    }
+
+    /// A small population for unit tests and examples (fast to generate).
+    pub fn small_test(seed: u64) -> Self {
+        Self {
+            num_users: 40,
+            days: 7,
+            num_apps: 30,
+            app_zipf_exponent: 1.0,
+            mean_sessions_per_day: 10.0,
+            user_rate_cv: 0.8,
+            mean_session_secs: 100.0,
+            session_cv: 1.0,
+            hour_weights: Self::default_hour_weights(),
+            weekend_factor: 1.1,
+            user_hour_jitter_cv: 0.3,
+            seed,
+        }
+    }
+
+    /// Generates the trace described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is statistically degenerate (zero users,
+    /// zero days, zero apps, or non-positive means) — configurations are
+    /// constructed by code, not parsed from input, so this is a programming
+    /// error.
+    pub fn generate(&self) -> Trace {
+        assert!(self.num_users > 0, "population needs at least one user");
+        assert!(self.days > 0, "trace needs at least one day");
+        assert!(self.num_apps > 0, "marketplace needs at least one app");
+
+        let horizon = SimTime::from_days(self.days as u64);
+        let rate_dist = LogNormal::from_mean_cv(self.mean_sessions_per_day, self.user_rate_cv)
+            .expect("valid session-rate parameters");
+        let duration_dist = LogNormal::from_mean_cv(self.mean_session_secs, self.session_cv)
+            .expect("valid session-duration parameters");
+        let app_dist =
+            Zipf::new(self.num_apps as usize, self.app_zipf_exponent).expect("valid app Zipf");
+        let jitter = if self.user_hour_jitter_cv > 0.0 {
+            Some(LogNormal::from_mean_cv(1.0, self.user_hour_jitter_cv).expect("valid jitter"))
+        } else {
+            None
+        };
+
+        let mut sessions = Vec::new();
+        for user in 0..self.num_users {
+            let mut rng = self.user_rng(user);
+            let rate = rate_dist.sample(&mut rng).clamp(0.2, 250.0);
+
+            // Personalized diurnal profile.
+            let mut weights = self.hour_weights;
+            if let Some(j) = &jitter {
+                for w in &mut weights {
+                    *w *= j.sample(&mut rng);
+                }
+            }
+            let hour_dist = Discrete::new(&weights).expect("hour weights are valid");
+
+            for day in 0..self.days as u64 {
+                let day_start = SimTime::from_days(day);
+                let factor = if day_start.is_weekend() {
+                    self.weekend_factor
+                } else {
+                    1.0
+                };
+                let n = Poisson::new(rate * factor)
+                    .expect("positive rate")
+                    .sample(&mut rng);
+                for _ in 0..n {
+                    let hour = hour_dist.sample(&mut rng) as u64;
+                    let offset_ms = rng.gen_range(0..adpf_desim::time::MILLIS_PER_HOUR);
+                    let start = day_start
+                        + SimDuration::from_hours(hour)
+                        + SimDuration::from_millis(offset_ms);
+                    let dur_secs = duration_dist.sample(&mut rng).clamp(5.0, 4.0 * 3600.0);
+                    let mut duration = SimDuration::from_secs_f64(dur_secs);
+                    // Clip to the horizon so the trace stays bounded.
+                    if start + duration > horizon {
+                        duration = horizon.saturating_since(start);
+                    }
+                    if duration.is_zero() {
+                        continue;
+                    }
+                    let app = AppId((app_dist.sample(&mut rng) - 1) as u16);
+                    sessions.push(Session {
+                        user: UserId(user),
+                        app,
+                        start,
+                        duration,
+                    });
+                }
+            }
+        }
+        Trace::new(sessions, self.num_users, horizon)
+    }
+
+    /// Per-user RNG derived from the master seed; stable across population
+    /// size changes.
+    fn user_rng(&self, user: u32) -> StdRng {
+        // SplitMix64-style mixing of (seed, user) into a 64-bit stream id.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(user as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PopulationConfig::small_test(7).generate();
+        let b = PopulationConfig::small_test(7).generate();
+        assert_eq!(a, b);
+        let c = PopulationConfig::small_test(8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn adding_users_preserves_existing_streams() {
+        let mut small = PopulationConfig::small_test(3);
+        small.num_users = 10;
+        let mut big = small.clone();
+        big.num_users = 20;
+        let ts = small.generate();
+        let tb = big.generate();
+        for u in 0..10 {
+            let a: Vec<_> = ts.sessions_for(UserId(u)).collect();
+            let b: Vec<_> = tb.sessions_for(UserId(u)).collect();
+            assert_eq!(a, b, "user {u} changed when the population grew");
+        }
+    }
+
+    #[test]
+    fn sessions_respect_horizon() {
+        let t = PopulationConfig::small_test(11).generate();
+        for s in t.sessions() {
+            assert!(s.end() <= t.horizon());
+            assert!(!s.duration.is_zero());
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_calibrated() {
+        let cfg = PopulationConfig {
+            num_users: 300,
+            days: 14,
+            ..PopulationConfig::small_test(5)
+        };
+        let t = cfg.generate();
+        let per_day = t.sessions().len() as f64 / (300.0 * 14.0);
+        // Weekends push the mean slightly above the weekday rate.
+        assert!(
+            (per_day - cfg.mean_sessions_per_day).abs() < cfg.mean_sessions_per_day * 0.25,
+            "sessions/user/day = {per_day}"
+        );
+    }
+
+    #[test]
+    fn diurnal_profile_shows_up() {
+        let t = PopulationConfig::small_test(9).generate();
+        let mut night = 0u32;
+        let mut evening = 0u32;
+        for s in t.sessions() {
+            match s.start.hour_of_day() {
+                1..=4 => night += 1,
+                19..=21 => evening += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            evening > 5 * night,
+            "evening {evening} should dwarf night {night}"
+        );
+    }
+
+    #[test]
+    fn app_popularity_is_skewed() {
+        let t = PopulationConfig::small_test(13).generate();
+        let mut counts = [0u32; 30];
+        for s in t.sessions() {
+            counts[s.app.0 as usize] += 1;
+        }
+        let top: u32 = counts[..3].iter().sum();
+        let bottom: u32 = counts[27..].iter().sum();
+        assert!(top > 5 * bottom.max(1), "top {top} bottom {bottom}");
+    }
+
+    #[test]
+    fn user_heterogeneity_is_heavy_tailed() {
+        let cfg = PopulationConfig {
+            num_users: 200,
+            ..PopulationConfig::small_test(21)
+        };
+        let t = cfg.generate();
+        let mut per_user = vec![0u32; 200];
+        for s in t.sessions() {
+            per_user[s.user.0 as usize] += 1;
+        }
+        per_user.sort_unstable();
+        let median = per_user[100] as f64;
+        let p95 = per_user[190] as f64;
+        assert!(p95 > 2.0 * median, "p95 {p95} median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        let mut cfg = PopulationConfig::small_test(1);
+        cfg.num_users = 0;
+        let _ = cfg.generate();
+    }
+}

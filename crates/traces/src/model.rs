@@ -1,0 +1,273 @@
+//! Trace data model.
+
+use core::fmt;
+
+use adpf_desim::{SimDuration, SimTime};
+
+/// Identifier of one device/user in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+/// Identifier of one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u16);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// One foreground app session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    /// Who used the app.
+    pub user: UserId,
+    /// Which app was in the foreground.
+    pub app: AppId,
+    /// Foreground start time.
+    pub start: SimTime,
+    /// Foreground duration.
+    pub duration: SimDuration,
+}
+
+impl Session {
+    /// End of the session.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// One displayable ad slot: the app showed (or could show) an ad at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdSlot {
+    /// The user whose screen shows the ad.
+    pub user: UserId,
+    /// The app hosting the ad.
+    pub app: AppId,
+    /// When the slot occurs.
+    pub time: SimTime,
+}
+
+/// A complete usage trace: sessions of a user population over a horizon.
+///
+/// Sessions are kept sorted by start time (ties by user, then app), which
+/// every consumer — the event-driven simulator, the predictors, the
+/// statistics — relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    sessions: Vec<Session>,
+    num_users: u32,
+    horizon: SimTime,
+}
+
+impl Trace {
+    /// Builds a trace from raw sessions.
+    ///
+    /// Sessions are sorted; `num_users` is the population size (user ids
+    /// must be `< num_users`); the horizon is extended to cover the last
+    /// session end if needed.
+    pub fn new(mut sessions: Vec<Session>, num_users: u32, horizon: SimTime) -> Self {
+        sessions.sort_by(|a, b| {
+            a.start
+                .cmp(&b.start)
+                .then(a.user.cmp(&b.user))
+                .then(a.app.cmp(&b.app))
+        });
+        let last_end = sessions
+            .iter()
+            .map(|s| s.end())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Self {
+            sessions,
+            num_users,
+            horizon: horizon.max(last_end),
+        }
+    }
+
+    /// All sessions, sorted by start time.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Number of users in the population (including users with no
+    /// sessions).
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Trace end time.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of whole days covered (rounded up).
+    pub fn days(&self) -> u32 {
+        let ms = self.horizon.as_millis();
+        ms.div_ceil(adpf_desim::time::MILLIS_PER_DAY) as u32
+    }
+
+    /// Sessions of one user, in time order.
+    pub fn sessions_for(&self, user: UserId) -> impl Iterator<Item = &Session> {
+        self.sessions.iter().filter(move |s| s.user == user)
+    }
+
+    /// Derives the ad-slot stream: one slot at each session start plus one
+    /// every `refresh` while the session lasts. Slots are time-ordered.
+    pub fn ad_slots(&self, refresh: SimDuration) -> Vec<AdSlot> {
+        let mut slots = Vec::new();
+        for s in &self.sessions {
+            slots.push(AdSlot {
+                user: s.user,
+                app: s.app,
+                time: s.start,
+            });
+            if !refresh.is_zero() {
+                let mut t = s.start + refresh;
+                while t < s.end() {
+                    slots.push(AdSlot {
+                        user: s.user,
+                        app: s.app,
+                        time: t,
+                    });
+                    t += refresh;
+                }
+            }
+        }
+        slots.sort_by(|a, b| a.time.cmp(&b.time).then(a.user.cmp(&b.user)));
+        slots
+    }
+
+    /// Per-user time-ordered slot times, indexed by user id.
+    ///
+    /// Convenient layout for the predictors, which consume one user's slot
+    /// stream at a time.
+    pub fn slots_by_user(&self, refresh: SimDuration) -> Vec<Vec<SimTime>> {
+        let mut by_user: Vec<Vec<SimTime>> = vec![Vec::new(); self.num_users as usize];
+        for slot in self.ad_slots(refresh) {
+            let idx = slot.user.0 as usize;
+            if idx < by_user.len() {
+                by_user[idx].push(slot.time);
+            }
+        }
+        by_user
+    }
+
+    /// Counts slots per fixed window of length `window` for one user's
+    /// slot-time series, covering `[0, horizon)`.
+    pub fn window_counts(
+        slot_times: &[SimTime],
+        window: SimDuration,
+        horizon: SimTime,
+    ) -> Vec<u32> {
+        assert!(!window.is_zero(), "window must be positive");
+        let n = horizon.as_millis().div_ceil(window.as_millis()) as usize;
+        let mut counts = vec![0u32; n];
+        for &t in slot_times {
+            let idx = (t.as_millis() / window.as_millis()) as usize;
+            if idx < n {
+                counts[idx] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(user: u32, app: u16, start_s: u64, dur_s: u64) -> Session {
+        Session {
+            user: UserId(user),
+            app: AppId(app),
+            start: SimTime::from_secs(start_s),
+            duration: SimDuration::from_secs(dur_s),
+        }
+    }
+
+    #[test]
+    fn trace_sorts_sessions() {
+        let t = Trace::new(vec![s(0, 0, 100, 10), s(1, 0, 50, 10)], 2, SimTime::ZERO);
+        assert_eq!(t.sessions()[0].user, UserId(1));
+        assert_eq!(t.horizon(), SimTime::from_secs(110));
+    }
+
+    #[test]
+    fn ad_slots_follow_refresh_rule() {
+        // A 95 s session with 30 s refresh yields slots at 0, 30, 60, 90.
+        let t = Trace::new(vec![s(0, 0, 0, 95)], 1, SimTime::ZERO);
+        let slots = t.ad_slots(SimDuration::from_secs(30));
+        let times: Vec<u64> = slots.iter().map(|x| x.time.as_millis() / 1000).collect();
+        assert_eq!(times, vec![0, 30, 60, 90]);
+    }
+
+    #[test]
+    fn session_shorter_than_refresh_yields_one_slot() {
+        let t = Trace::new(vec![s(0, 0, 0, 10)], 1, SimTime::ZERO);
+        assert_eq!(t.ad_slots(SimDuration::from_secs(30)).len(), 1);
+    }
+
+    #[test]
+    fn exact_multiple_excludes_end_boundary() {
+        // A 60 s session has slots at 0 and 30; the slot at t = 60 would be
+        // at session end and is not shown.
+        let t = Trace::new(vec![s(0, 0, 0, 60)], 1, SimTime::ZERO);
+        assert_eq!(t.ad_slots(SimDuration::from_secs(30)).len(), 2);
+    }
+
+    #[test]
+    fn zero_refresh_means_launch_only() {
+        let t = Trace::new(vec![s(0, 0, 0, 600)], 1, SimTime::ZERO);
+        assert_eq!(t.ad_slots(SimDuration::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn slots_by_user_partitions_slots() {
+        let t = Trace::new(vec![s(0, 0, 0, 65), s(1, 1, 10, 5)], 2, SimTime::ZERO);
+        let by_user = t.slots_by_user(SimDuration::from_secs(30));
+        assert_eq!(by_user.len(), 2);
+        assert_eq!(by_user[0].len(), 3);
+        assert_eq!(by_user[1].len(), 1);
+    }
+
+    #[test]
+    fn window_counts_cover_horizon() {
+        let times = vec![
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            SimTime::from_secs(3700),
+        ];
+        let counts =
+            Trace::window_counts(&times, SimDuration::from_hours(1), SimTime::from_hours(3));
+        assert_eq!(counts, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn days_rounds_up() {
+        let t = Trace::new(
+            vec![s(0, 0, 0, 90_000)], // Ends at 25 h.
+            1,
+            SimTime::ZERO,
+        );
+        assert_eq!(t.days(), 2);
+    }
+
+    #[test]
+    fn sessions_for_filters_by_user() {
+        let t = Trace::new(
+            vec![s(0, 0, 0, 10), s(1, 0, 5, 10), s(0, 1, 20, 10)],
+            2,
+            SimTime::ZERO,
+        );
+        assert_eq!(t.sessions_for(UserId(0)).count(), 2);
+        assert_eq!(t.sessions_for(UserId(1)).count(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Trace transformations: slicing, filtering, splitting, merging.
+//!
+//! Real trace studies rarely use a dataset whole: they warm models on a
+//! prefix, evaluate on a suffix, slice cohorts, or merge collection
+//! batches. These helpers keep those manipulations out of experiment code.
+
+use adpf_desim::SimTime;
+
+use crate::model::{Session, Trace, UserId};
+
+/// Keeps only the sessions of days `[from_day, to_day)`, re-basing time so
+/// the slice starts at day 0 (predictor calendar features keep working).
+///
+/// Sessions straddling the slice boundaries are clipped.
+pub fn slice_days(trace: &Trace, from_day: u32, to_day: u32) -> Trace {
+    let start = SimTime::from_days(from_day as u64);
+    let end = SimTime::from_days(to_day.max(from_day) as u64);
+    let mut sessions = Vec::new();
+    for s in trace.sessions() {
+        let s_start = s.start.max(start);
+        let s_end = s.end().min(end);
+        if s_end <= s_start {
+            continue;
+        }
+        sessions.push(Session {
+            user: s.user,
+            app: s.app,
+            start: SimTime::from_millis(s_start.as_millis() - start.as_millis()),
+            duration: s_end - s_start,
+        });
+    }
+    let horizon = SimTime::from_millis(end.saturating_since(start).as_millis());
+    Trace::new(sessions, trace.num_users(), horizon)
+}
+
+/// Keeps only the given users, compacting ids to `0..users.len()` so the
+/// population has no silent holes.
+pub fn filter_users(trace: &Trace, users: &[UserId]) -> Trace {
+    let mut index = std::collections::HashMap::new();
+    for (i, &u) in users.iter().enumerate() {
+        index.insert(u, UserId(i as u32));
+    }
+    let sessions = trace
+        .sessions()
+        .iter()
+        .filter_map(|s| {
+            index
+                .get(&s.user)
+                .map(|&new_id| Session { user: new_id, ..*s })
+        })
+        .collect();
+    Trace::new(sessions, users.len() as u32, trace.horizon())
+}
+
+/// Splits a trace at `day`: `(train, test)`, both re-based to start at
+/// day 0.
+pub fn split_at_day(trace: &Trace, day: u32) -> (Trace, Trace) {
+    let days = trace.days();
+    (slice_days(trace, 0, day), slice_days(trace, day, days))
+}
+
+/// Merges two traces over disjoint user populations: users of `b` are
+/// re-numbered after those of `a`. Horizon is the later of the two.
+pub fn merge_populations(a: &Trace, b: &Trace) -> Trace {
+    let offset = a.num_users();
+    let mut sessions: Vec<Session> = a.sessions().to_vec();
+    sessions.extend(b.sessions().iter().map(|s| Session {
+        user: UserId(s.user.0 + offset),
+        ..*s
+    }));
+    Trace::new(
+        sessions,
+        offset + b.num_users(),
+        a.horizon().max(b.horizon()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::PopulationConfig;
+    use adpf_desim::SimDuration;
+
+    fn trace() -> Trace {
+        PopulationConfig::small_test(33).generate()
+    }
+
+    #[test]
+    fn slice_rebases_time_and_clips() {
+        let t = trace();
+        let sliced = slice_days(&t, 2, 5);
+        assert_eq!(sliced.days(), 3);
+        for s in sliced.sessions() {
+            assert!(s.end() <= SimTime::from_days(3));
+        }
+        // Roughly 3/7 of the sessions survive.
+        let frac = sliced.sessions().len() as f64 / t.sessions().len() as f64;
+        assert!((0.25..0.6).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn slice_preserves_hour_of_day() {
+        let t = trace();
+        let sliced = slice_days(&t, 3, 4);
+        // Day boundaries are midnight, so hours survive re-basing.
+        let orig: Vec<u32> = t
+            .sessions()
+            .iter()
+            .filter(|s| s.start.day_index() == 3)
+            .map(|s| s.start.hour_of_day())
+            .collect();
+        let new: Vec<u32> = sliced
+            .sessions()
+            .iter()
+            .filter(|s| s.start >= SimTime::ZERO)
+            .map(|s| s.start.hour_of_day())
+            .take(orig.len())
+            .collect();
+        assert_eq!(orig[..new.len().min(orig.len())], new[..]);
+    }
+
+    #[test]
+    fn filter_users_compacts_ids() {
+        let t = trace();
+        let keep = vec![UserId(3), UserId(7), UserId(11)];
+        let filtered = filter_users(&t, &keep);
+        assert_eq!(filtered.num_users(), 3);
+        for s in filtered.sessions() {
+            assert!(s.user.0 < 3);
+        }
+        let expected: usize = keep.iter().map(|&u| t.sessions_for(u).count()).sum();
+        assert_eq!(filtered.sessions().len(), expected);
+    }
+
+    #[test]
+    fn split_partitions_sessions() {
+        let t = trace();
+        let (train, test) = split_at_day(&t, 4);
+        assert_eq!(train.days(), 4);
+        assert_eq!(test.days(), 3);
+        // Session counts add up to at least the original (straddlers can
+        // appear in both halves as clipped pieces).
+        assert!(train.sessions().len() + test.sessions().len() >= t.sessions().len());
+    }
+
+    #[test]
+    fn merge_renumbers_users() {
+        let a = PopulationConfig {
+            num_users: 5,
+            ..PopulationConfig::small_test(1)
+        }
+        .generate();
+        let b = PopulationConfig {
+            num_users: 7,
+            ..PopulationConfig::small_test(2)
+        }
+        .generate();
+        let merged = merge_populations(&a, &b);
+        assert_eq!(merged.num_users(), 12);
+        assert_eq!(
+            merged.sessions().len(),
+            a.sessions().len() + b.sessions().len()
+        );
+        let max_user = merged.sessions().iter().map(|s| s.user.0).max().unwrap();
+        assert!(max_user < 12);
+        // Slot derivation still works over the merged population.
+        let slots = merged.ad_slots(SimDuration::from_secs(30));
+        assert!(!slots.is_empty());
+    }
+
+    #[test]
+    fn empty_slice_is_empty() {
+        let t = trace();
+        let sliced = slice_days(&t, 5, 5);
+        assert_eq!(sliced.sessions().len(), 0);
+    }
+}

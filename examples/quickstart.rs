@@ -1,0 +1,40 @@
+//! Quickstart: simulate status-quo real-time ad delivery versus the
+//! paper's prefetching+overbooking system on a synthetic one-week trace.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adprefetch::core::{Simulator, SystemConfig};
+use adprefetch::traces::PopulationConfig;
+
+fn main() {
+    // A small synthetic population: 40 users, one week of app sessions
+    // with diurnal rhythm and heavy-tailed per-user activity.
+    let trace = PopulationConfig::small_test(42).generate();
+    println!(
+        "trace: {} users, {} sessions over {} days\n",
+        trace.num_users(),
+        trace.sessions().len(),
+        trace.days()
+    );
+
+    // Status quo: every ad slot wakes the radio and runs a real-time
+    // auction.
+    let realtime = Simulator::new(SystemConfig::realtime(1), &trace).run();
+    println!("--- real-time (status quo) ---\n{}\n", realtime.summary());
+
+    // The paper's system: session-aware demand prediction, advance sales
+    // with 12-hour deadlines, greedy overbooking, batched delivery.
+    let prefetch = Simulator::new(SystemConfig::prefetch_default(1), &trace).run();
+    println!("--- prefetch + overbooking ---\n{}\n", prefetch.summary());
+
+    println!(
+        "energy savings: {:.1}%   revenue loss: {:.2}%   SLA violations: {:.2}%",
+        prefetch.energy_savings_vs(&realtime) * 100.0,
+        prefetch.revenue_loss_vs(&realtime) * 100.0,
+        prefetch.sla_violation_rate() * 100.0
+    );
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the adprefetch public API.
+pub use adpf_auction as auction;
+pub use adpf_core as core;
+pub use adpf_desim as desim;
+pub use adpf_energy as energy;
+pub use adpf_overbooking as overbooking;
+pub use adpf_prediction as prediction;
+pub use adpf_stats as stats;
+pub use adpf_traces as traces;
