@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Local CI gate: build, test, and formatting check. Run from the repo root.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace --release
+cargo fmt --check

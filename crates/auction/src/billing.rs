@@ -64,6 +64,23 @@ pub struct LedgerTotals {
 }
 
 impl LedgerTotals {
+    /// Accumulates another ledger's totals into this one.
+    ///
+    /// Every field is additive, so merging the per-shard ledgers of a
+    /// sharded run (in shard order, which fixes the floating-point
+    /// summation order) reproduces the totals a single global ledger
+    /// would have recorded for the same sales and displays.
+    pub fn merge(&mut self, other: &LedgerTotals) {
+        self.sold += other.sold;
+        self.billed += other.billed;
+        self.revenue += other.revenue;
+        self.sold_value += other.sold_value;
+        self.expired += other.expired;
+        self.refunded += other.refunded;
+        self.duplicates += other.duplicates;
+        self.late_displays += other.late_displays;
+    }
+
     /// SLA violation rate: expired / sold; `0.0` when nothing was sold.
     pub fn sla_violation_rate(&self) -> f64 {
         if self.sold == 0 {
@@ -276,6 +293,49 @@ mod tests {
         // Only one expiration counted even though a display also came late.
         assert_eq!(l.totals().expired, 1);
         assert_eq!(l.totals().late_displays, 1);
+    }
+
+    #[test]
+    fn merged_totals_match_a_single_ledger() {
+        // Split the same activity across two ledgers; the merged totals
+        // equal one ledger seeing everything.
+        let mut whole = Ledger::new();
+        let mut left = Ledger::new();
+        let mut right = Ledger::new();
+        for i in 0..8 {
+            let ad = sold(i, 0.001 * (i + 1) as f64, if i % 3 == 0 { 1 } else { 50 });
+            whole.record_sale(&ad);
+            if i % 2 == 0 { &mut left } else { &mut right }.record_sale(&ad);
+        }
+        for i in [1u64, 2, 5] {
+            whole.record_impression(AdId(i), SimTime::from_hours(2));
+            if i % 2 == 0 { &mut left } else { &mut right }
+                .record_impression(AdId(i), SimTime::from_hours(2));
+        }
+        whole.expire_due(SimTime::from_hours(10));
+        left.expire_due(SimTime::from_hours(10));
+        right.expire_due(SimTime::from_hours(10));
+
+        let mut merged = LedgerTotals::default();
+        merged.merge(&left.totals());
+        merged.merge(&right.totals());
+        let w = whole.totals();
+        assert_eq!(merged.sold, w.sold);
+        assert_eq!(merged.billed, w.billed);
+        assert_eq!(merged.expired, w.expired);
+        assert!((merged.revenue - w.revenue).abs() < 1e-12);
+        assert!((merged.refunded - w.refunded).abs() < 1e-12);
+        assert!((merged.sold_value - w.sold_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut l = Ledger::new();
+        l.record_sale(&sold(1, 0.002, 4));
+        l.record_impression(AdId(1), SimTime::from_hours(1));
+        let mut t = l.totals();
+        t.merge(&LedgerTotals::default());
+        assert_eq!(t, l.totals());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use adpf_bench::Scale;
 use adpf_core::{Simulator, SystemConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -22,5 +22,29 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
+/// Sharded simulation at 1 vs. 4 worker threads over the same trace: the
+/// merged reports are identical, so the elem/s column isolates the
+/// scheduling speedup.
+fn bench_sharded(c: &mut Criterion) {
+    let trace = Scale::Quick.system_trace(42);
+    let slots = trace.ad_slots(SystemConfig::realtime(1).ad_refresh).len() as u64;
+    let cfg = SystemConfig::prefetch_default(1);
+    let mut g = c.benchmark_group("sharded");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.throughput(Throughput::Elements(slots));
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(Simulator::run_parallel(&cfg, &trace, threads)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_sharded);
 criterion_main!(benches);

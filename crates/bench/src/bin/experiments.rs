@@ -6,21 +6,34 @@
 //! experiments all            # every experiment at quick scale
 //! experiments e7 e10         # selected experiments
 //! experiments all --full     # paper-scale populations (slow)
+//! experiments e14 --threads 4  # sharded simulator on 4 worker threads
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use adpf_bench::{all_ids, run_experiment, Scale};
+use adpf_bench::{all_ids, run_experiment_threads, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
+    let threads_pos = args.iter().position(|a| a == "--threads");
+    let threads = match threads_pos {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(t) if t >= 1 => t,
+            _ => {
+                eprintln!("--threads requires a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1,
+    };
     let mut ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_ascii_lowercase())
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && Some(i) != threads_pos.map(|p| p + 1))
+        .map(|(_, a)| a.to_ascii_lowercase())
         .collect();
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = all_ids().iter().map(|s| s.to_string()).collect();
@@ -34,7 +47,7 @@ fn main() -> ExitCode {
     );
     for id in &ids {
         let t0 = Instant::now();
-        match run_experiment(id, scale) {
+        match run_experiment_threads(id, scale, threads) {
             Some(tables) => {
                 for table in tables {
                     println!("{table}");

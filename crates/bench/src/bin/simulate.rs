@@ -6,18 +6,23 @@
 //! ```text
 //! simulate --trace trace.csv --mode prefetch --interval-h 2 --deadline-h 12
 //! simulate --preset small --mode both --radio lte
+//! simulate --preset iphone --threads 4
 //! ```
 //!
 //! `--mode both` runs real-time and prefetch on the same trace and prints
 //! the comparison (energy savings, revenue loss, SLA violations).
+//!
+//! Every run goes through the sharded simulator
+//! ([`Simulator::run_parallel`]); `--threads N` only spreads the fixed
+//! logical shards over N OS threads, so the report for a given trace and
+//! seed is identical at every thread count.
 
 use std::fs::File;
 use std::process::ExitCode;
 
-use adpf_core::{DeliveryMode, PlannerKind, SimReport, Simulator, SystemConfig};
-use adpf_desim::SimDuration;
-use adpf_energy::{profiles, BatteryModel};
-use adpf_prediction::PredictorKind;
+use adpf_bench::cli::{build_config, parse_simulate_args, CliError, SimulateOpts};
+use adpf_core::{DeliveryMode, SimReport, Simulator};
+use adpf_energy::BatteryModel;
 use adpf_traces::{csv, PopulationConfig, Trace};
 
 fn usage() {
@@ -27,65 +32,11 @@ fn usage() {
          \x20                [--interval-h N] [--deadline-h N] [--sla P]\n\
          \x20                [--predictor session|day-hour|tod|markov|mean|oracle|zero]\n\
          \x20                [--planner greedy|fixed-K|none]\n\
-         \x20                [--radio 3g|lte|wifi] [--seed N]"
+         \x20                [--radio 3g|lte|wifi] [--seed N] [--threads N]"
     );
 }
 
-struct Opts {
-    trace: Option<String>,
-    preset: String,
-    mode: String,
-    interval_h: u64,
-    deadline_h: u64,
-    sla: f64,
-    predictor: String,
-    planner: String,
-    radio: String,
-    seed: u64,
-}
-
-fn parse(args: &[String]) -> Option<Opts> {
-    let mut o = Opts {
-        trace: None,
-        preset: "small".into(),
-        mode: "both".into(),
-        interval_h: 2,
-        deadline_h: 12,
-        sla: 0.95,
-        predictor: "session".into(),
-        planner: "greedy".into(),
-        radio: "3g".into(),
-        seed: 1,
-    };
-    let mut i = 0;
-    while i < args.len() {
-        let flag = args[i].as_str();
-        if flag == "--help" || flag == "-h" {
-            return None;
-        }
-        let value = args.get(i + 1)?;
-        match flag {
-            "--trace" => o.trace = Some(value.clone()),
-            "--preset" => o.preset = value.clone(),
-            "--mode" => o.mode = value.clone(),
-            "--interval-h" => o.interval_h = value.parse().ok()?,
-            "--deadline-h" => o.deadline_h = value.parse().ok()?,
-            "--sla" => o.sla = value.parse().ok()?,
-            "--predictor" => o.predictor = value.clone(),
-            "--planner" => o.planner = value.clone(),
-            "--radio" => o.radio = value.clone(),
-            "--seed" => o.seed = value.parse().ok()?,
-            other => {
-                eprintln!("unknown flag `{other}`");
-                return None;
-            }
-        }
-        i += 2;
-    }
-    Some(o)
-}
-
-fn load_trace(o: &Opts) -> Result<Trace, String> {
+fn load_trace(o: &SimulateOpts) -> Result<Trace, String> {
     if let Some(path) = &o.trace {
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         return csv::read_trace(file).map_err(|e| e.to_string());
@@ -97,42 +48,6 @@ fn load_trace(o: &Opts) -> Result<Trace, String> {
         other => return Err(format!("unknown preset `{other}`")),
     };
     Ok(cfg.generate())
-}
-
-fn build_config(o: &Opts, mode: DeliveryMode) -> Result<SystemConfig, String> {
-    let mut cfg = match mode {
-        DeliveryMode::RealTime => SystemConfig::realtime(o.seed),
-        DeliveryMode::Prefetch => SystemConfig::prefetch_default(o.seed),
-    };
-    cfg.prefetch_interval = SimDuration::from_hours(o.interval_h);
-    cfg.deadline = SimDuration::from_hours(o.deadline_h);
-    cfg.sla_target = o.sla;
-    cfg.predictor = match o.predictor.as_str() {
-        "session" => PredictorKind::SessionAware,
-        "day-hour" => PredictorKind::DayHour,
-        "tod" => PredictorKind::TimeOfDay,
-        "markov" => PredictorKind::Markov,
-        "mean" => PredictorKind::GlobalRate,
-        "oracle" => PredictorKind::Oracle,
-        "zero" => PredictorKind::Zero,
-        other => return Err(format!("unknown predictor `{other}`")),
-    };
-    cfg.planner = match o.planner.as_str() {
-        "greedy" => PlannerKind::Greedy,
-        "none" => PlannerKind::NoReplication,
-        other => match other.strip_prefix("fixed-").and_then(|k| k.parse().ok()) {
-            Some(k) => PlannerKind::FixedK(k),
-            None => return Err(format!("unknown planner `{other}`")),
-        },
-    };
-    cfg.radio = match o.radio.as_str() {
-        "3g" => profiles::umts_3g(),
-        "lte" => profiles::lte(),
-        "wifi" => profiles::wifi(),
-        other => return Err(format!("unknown radio `{other}`")),
-    };
-    cfg.validate()?;
-    Ok(cfg)
 }
 
 fn print_report(report: &SimReport) {
@@ -147,9 +62,17 @@ fn print_report(report: &SimReport) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(opts) = parse(&args) else {
-        usage();
-        return ExitCode::FAILURE;
+    let opts = match parse_simulate_args(&args) {
+        Ok(o) => o,
+        Err(CliError::Help) => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+        Err(CliError::Invalid(reason)) => {
+            eprintln!("{reason}");
+            usage();
+            return ExitCode::FAILURE;
+        }
     };
     let trace = match load_trace(&opts) {
         Ok(t) => t,
@@ -159,15 +82,16 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "trace: {} users, {} sessions, {} days\n",
+        "trace: {} users, {} sessions, {} days ({} threads)\n",
         trace.num_users(),
         trace.sessions().len(),
-        trace.days()
+        trace.days(),
+        opts.threads
     );
 
     let run = |mode: DeliveryMode| -> Result<SimReport, String> {
         let cfg = build_config(&opts, mode)?;
-        Ok(Simulator::new(cfg, &trace).run())
+        Ok(Simulator::run_parallel(&cfg, &trace, opts.threads))
     };
     let result = match opts.mode.as_str() {
         "realtime" => run(DeliveryMode::RealTime).map(|r| print_report(&r)),

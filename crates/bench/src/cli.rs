@@ -1,0 +1,257 @@
+//! Argument parsing for the `simulate` binary, split out of the binary so
+//! the parser is unit-testable (no process exit, no I/O).
+
+use adpf_core::{DeliveryMode, PlannerKind, SystemConfig};
+use adpf_desim::SimDuration;
+use adpf_energy::profiles;
+use adpf_prediction::PredictorKind;
+
+/// Parsed `simulate` options, with defaults applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateOpts {
+    /// CSV trace path; `None` uses the synthetic `preset`.
+    pub trace: Option<String>,
+    /// Synthetic population preset (`iphone`, `wp`, `small`).
+    pub preset: String,
+    /// Delivery mode: `realtime`, `prefetch`, or `both`.
+    pub mode: String,
+    /// Sync period in hours.
+    pub interval_h: u64,
+    /// Display deadline in hours.
+    pub deadline_h: u64,
+    /// SLA target probability.
+    pub sla: f64,
+    /// Predictor name (see [`parse_predictor`]).
+    pub predictor: String,
+    /// Planner name (see [`parse_planner`]).
+    pub planner: String,
+    /// Radio profile name (`3g`, `lte`, `wifi`).
+    pub radio: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for the sharded simulator.
+    pub threads: usize,
+}
+
+impl Default for SimulateOpts {
+    fn default() -> Self {
+        Self {
+            trace: None,
+            preset: "small".into(),
+            mode: "both".into(),
+            interval_h: 2,
+            deadline_h: 12,
+            sla: 0.95,
+            predictor: "session".into(),
+            planner: "greedy".into(),
+            radio: "3g".into(),
+            seed: 1,
+            threads: 1,
+        }
+    }
+}
+
+/// Why parsing did not produce options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h` was requested.
+    Help,
+    /// The arguments are unusable, with a human-readable reason.
+    Invalid(String),
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CliError::Help => f.write_str("help requested"),
+            CliError::Invalid(reason) => f.write_str(reason),
+        }
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> CliError {
+    CliError::Invalid(reason.into())
+}
+
+/// Parses `simulate` arguments (without the program name).
+///
+/// Every enumerated value (`--mode`, `--predictor`, `--planner`,
+/// `--radio`, `--preset`) is validated here, so a typo fails fast with a
+/// message instead of surfacing after a long trace load.
+pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
+    let mut o = SimulateOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(CliError::Help);
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| invalid(format!("flag `{flag}` is missing its value")))?;
+        let parse_err = |name: &str| invalid(format!("invalid `{name}` value `{value}`"));
+        match flag {
+            "--trace" => o.trace = Some(value.clone()),
+            "--preset" => o.preset = value.clone(),
+            "--mode" => o.mode = value.clone(),
+            "--interval-h" => {
+                o.interval_h = value.parse().map_err(|_| parse_err("--interval-h"))?
+            }
+            "--deadline-h" => {
+                o.deadline_h = value.parse().map_err(|_| parse_err("--deadline-h"))?
+            }
+            "--sla" => o.sla = value.parse().map_err(|_| parse_err("--sla"))?,
+            "--predictor" => o.predictor = value.clone(),
+            "--planner" => o.planner = value.clone(),
+            "--radio" => o.radio = value.clone(),
+            "--seed" => o.seed = value.parse().map_err(|_| parse_err("--seed"))?,
+            "--threads" => o.threads = value.parse().map_err(|_| parse_err("--threads"))?,
+            other => return Err(invalid(format!("unknown flag `{other}`"))),
+        }
+        i += 2;
+    }
+    if !matches!(o.mode.as_str(), "realtime" | "prefetch" | "both") {
+        return Err(invalid(format!("unknown mode `{}`", o.mode)));
+    }
+    if o.trace.is_none() && !matches!(o.preset.as_str(), "iphone" | "wp" | "small") {
+        return Err(invalid(format!("unknown preset `{}`", o.preset)));
+    }
+    if o.threads == 0 {
+        return Err(invalid("--threads must be at least 1"));
+    }
+    parse_predictor(&o.predictor).map_err(CliError::Invalid)?;
+    parse_planner(&o.planner).map_err(CliError::Invalid)?;
+    if !matches!(o.radio.as_str(), "3g" | "lte" | "wifi") {
+        return Err(invalid(format!("unknown radio `{}`", o.radio)));
+    }
+    Ok(o)
+}
+
+/// Resolves a predictor name.
+pub fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
+    Ok(match name {
+        "session" => PredictorKind::SessionAware,
+        "day-hour" => PredictorKind::DayHour,
+        "tod" => PredictorKind::TimeOfDay,
+        "markov" => PredictorKind::Markov,
+        "mean" => PredictorKind::GlobalRate,
+        "oracle" => PredictorKind::Oracle,
+        "zero" => PredictorKind::Zero,
+        other => return Err(format!("unknown predictor `{other}`")),
+    })
+}
+
+/// Resolves a planner name (`greedy`, `none`, or `fixed-K`).
+pub fn parse_planner(name: &str) -> Result<PlannerKind, String> {
+    match name {
+        "greedy" => Ok(PlannerKind::Greedy),
+        "none" => Ok(PlannerKind::NoReplication),
+        other => match other.strip_prefix("fixed-").and_then(|k| k.parse().ok()) {
+            Some(k) => Ok(PlannerKind::FixedK(k)),
+            None => Err(format!("unknown planner `{other}`")),
+        },
+    }
+}
+
+/// Builds the validated [`SystemConfig`] for one delivery mode from
+/// parsed options.
+pub fn build_config(o: &SimulateOpts, mode: DeliveryMode) -> Result<SystemConfig, String> {
+    let mut cfg = match mode {
+        DeliveryMode::RealTime => SystemConfig::realtime(o.seed),
+        DeliveryMode::Prefetch => SystemConfig::prefetch_default(o.seed),
+    };
+    cfg.prefetch_interval = SimDuration::from_hours(o.interval_h);
+    cfg.deadline = SimDuration::from_hours(o.deadline_h);
+    cfg.sla_target = o.sla;
+    cfg.predictor = parse_predictor(&o.predictor)?;
+    cfg.planner = parse_planner(&o.planner)?;
+    cfg.radio = match o.radio.as_str() {
+        "3g" => profiles::umts_3g(),
+        "lte" => profiles::lte(),
+        "wifi" => profiles::wifi(),
+        other => return Err(format!("unknown radio `{other}`")),
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_yield_defaults() {
+        let o = parse_simulate_args(&[]).unwrap();
+        assert_eq!(o, SimulateOpts::default());
+    }
+
+    #[test]
+    fn threads_flag_is_accepted() {
+        let o = parse_simulate_args(&argv("--preset iphone --threads 4")).unwrap();
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.preset, "iphone");
+    }
+
+    #[test]
+    fn zero_threads_are_rejected() {
+        let err = parse_simulate_args(&argv("--threads 0")).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(r) if r.contains("--threads")));
+    }
+
+    #[test]
+    fn unknown_mode_is_rejected() {
+        let err = parse_simulate_args(&argv("--mode warp")).unwrap_err();
+        assert_eq!(err, CliError::Invalid("unknown mode `warp`".into()));
+    }
+
+    #[test]
+    fn unknown_planner_is_rejected() {
+        let err = parse_simulate_args(&argv("--planner quantum")).unwrap_err();
+        assert_eq!(err, CliError::Invalid("unknown planner `quantum`".into()));
+        // fixed-K with junk K is also a reject, not a silent default.
+        assert!(parse_simulate_args(&argv("--planner fixed-x")).is_err());
+        assert_eq!(parse_planner("fixed-3"), Ok(PlannerKind::FixedK(3)));
+    }
+
+    #[test]
+    fn unknown_flag_predictor_radio_preset_are_rejected() {
+        assert!(parse_simulate_args(&argv("--bogus 1")).is_err());
+        assert!(parse_simulate_args(&argv("--predictor psychic")).is_err());
+        assert!(parse_simulate_args(&argv("--radio 5g")).is_err());
+        assert!(parse_simulate_args(&argv("--preset android")).is_err());
+    }
+
+    #[test]
+    fn missing_value_and_help_are_distinct() {
+        assert!(matches!(
+            parse_simulate_args(&argv("--seed")),
+            Err(CliError::Invalid(_))
+        ));
+        assert_eq!(parse_simulate_args(&argv("--help")), Err(CliError::Help));
+    }
+
+    #[test]
+    fn build_config_honors_parsed_options() {
+        let o = parse_simulate_args(&argv(
+            "--interval-h 4 --deadline-h 12 --sla 0.9 --predictor oracle --planner none --radio lte",
+        ))
+        .unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert_eq!(cfg.prefetch_interval, SimDuration::from_hours(4));
+        assert_eq!(cfg.sla_target, 0.9);
+        assert_eq!(cfg.planner, PlannerKind::NoReplication);
+        assert_eq!(cfg.radio.name, "LTE");
+    }
+
+    #[test]
+    fn build_config_rejects_invalid_combinations() {
+        // Parses fine, but violates a SystemConfig invariant
+        // (deadline < interval): the validation error surfaces.
+        let o = parse_simulate_args(&argv("--interval-h 8 --deadline-h 2")).unwrap();
+        assert!(build_config(&o, DeliveryMode::Prefetch).is_err());
+    }
+}

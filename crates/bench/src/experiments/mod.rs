@@ -24,6 +24,13 @@ pub fn all_ids() -> Vec<&'static str> {
 /// timeline; E8/E9 are two views of one sweep and both appear under
 /// either id).
 pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    run_experiment_threads(id, scale, 1)
+}
+
+/// [`run_experiment`] with a worker-thread count for the experiments
+/// that exercise the sharded simulator (currently E14's throughput
+/// section); single-run experiments ignore it.
+pub fn run_experiment_threads(id: &str, scale: Scale, threads: usize) -> Option<Vec<Table>> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(vec![motivation::e1_ad_energy_share(scale)]),
         "e2" => Some(motivation::e2_tail_energy()),
@@ -40,7 +47,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e11" => Some(vec![system::e11_tradeoff_frontier(scale)]),
         "e12" => Some(vec![system::e12_predictor_ablation(scale)]),
         "e13" => Some(vec![system::e13_planner_ablation(scale)]),
-        "e14" => Some(scaling::e14_scaling(scale)),
+        "e14" => Some(scaling::e14_scaling_threads(scale, threads)),
         "e15" => Some(vec![mechanisms::e15_mechanism_ablation(scale)]),
         _ => None,
     }

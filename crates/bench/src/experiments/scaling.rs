@@ -11,8 +11,15 @@ use crate::scale::Scale;
 use crate::table::{f, pct, Table};
 
 /// E14: (a) real-time vs. advance clearing prices in the exchange, and
-/// (b) simulator throughput versus population size.
+/// (b) simulator throughput versus population size, single-threaded.
 pub fn e14_scaling(scale: Scale) -> Vec<Table> {
+    e14_scaling_threads(scale, 1)
+}
+
+/// [`e14_scaling`] running the sharded simulator on `threads` worker
+/// threads for the throughput section, plus a thread-sweep table (E14c)
+/// measuring sharded scaling on the largest population of the scale.
+pub fn e14_scaling_threads(scale: Scale, threads: usize) -> Vec<Table> {
     let mut prices = Table::new(
         "E14a",
         "exchange clearing: real-time vs. advance sale",
@@ -61,9 +68,9 @@ pub fn e14_scaling(scale: Scale) -> Vec<Table> {
 
     let mut throughput = Table::new(
         "E14b",
-        "simulator throughput vs. population size (prefetch mode)",
+        "simulator throughput vs. population size (prefetch mode, sharded)",
         "the event-driven design scales linearly in slots",
-        &["users", "slots", "wall s", "slots/s"],
+        &["users", "threads", "slots", "wall s", "slots/s"],
     );
     for users in scale.scaling_sizes() {
         let cfg = PopulationConfig {
@@ -73,17 +80,48 @@ pub fn e14_scaling(scale: Scale) -> Vec<Table> {
         };
         let trace = cfg.generate();
         let t0 = Instant::now();
-        let report = Simulator::new(SystemConfig::prefetch_default(1), &trace).run();
+        let report = Simulator::run_parallel(&SystemConfig::prefetch_default(1), &trace, threads);
         let wall = t0.elapsed().as_secs_f64();
         throughput.push(vec![
             users.to_string(),
+            threads.to_string(),
             report.slots.to_string(),
             f(wall, 2),
             f(report.slots as f64 / wall.max(1e-9), 0),
         ]);
     }
 
-    vec![prices, throughput]
+    let mut thread_sweep = Table::new(
+        "E14c",
+        "sharded throughput vs. worker threads",
+        "shards are fixed, so the merged report is identical at every thread count; \
+         only wall-clock changes",
+        &["threads", "slots", "wall s", "slots/s", "speedup"],
+    );
+    let sweep_users = *scale.scaling_sizes().last().expect("scales are non-empty");
+    let sweep_trace = PopulationConfig {
+        num_users: sweep_users,
+        days: 7,
+        ..PopulationConfig::iphone_like(42)
+    }
+    .generate();
+    let mut single_thread_wall = None;
+    for threads in scale.thread_counts() {
+        let t0 = Instant::now();
+        let report =
+            Simulator::run_parallel(&SystemConfig::prefetch_default(1), &sweep_trace, threads);
+        let wall = t0.elapsed().as_secs_f64();
+        let base = *single_thread_wall.get_or_insert(wall);
+        thread_sweep.push(vec![
+            threads.to_string(),
+            report.slots.to_string(),
+            f(wall, 2),
+            f(report.slots as f64 / wall.max(1e-9), 0),
+            f(base / wall.max(1e-9), 2),
+        ]);
+    }
+
+    vec![prices, throughput, thread_sweep]
 }
 
 #[cfg(test)]
@@ -109,5 +147,17 @@ mod tests {
             }
         }
         assert_eq!(tables[1].rows.len(), Scale::Micro.scaling_sizes().len());
+    }
+
+    #[test]
+    fn e14_thread_sweep_simulates_the_same_slots_at_every_count() {
+        let tables = e14_scaling_threads(Scale::Micro, 2);
+        let sweep = &tables[2];
+        assert_eq!(sweep.rows.len(), Scale::Micro.thread_counts().len());
+        let slots: Vec<&String> = sweep.rows.iter().map(|r| &r[1]).collect();
+        assert!(
+            slots.windows(2).all(|w| w[0] == w[1]),
+            "thread count must not change the simulated work: {slots:?}"
+        );
     }
 }

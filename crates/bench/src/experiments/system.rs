@@ -52,13 +52,12 @@ pub fn e7_energy_vs_interval(scale: Scale) -> Vec<Table> {
             c.prefetch_interval = SimDuration::from_hours(interval_h);
             c.deadline = SimDuration::from_hours(interval_h.max(12));
         });
-        let syncs_per_user_day = pf.syncs as f64 / (pf.users as f64 * pf.days as f64);
         table.push(vec![
             interval_h.to_string(),
             f(pf.energy_per_impression_j(), 2),
             pct(pf.energy_savings_vs(&rt)),
             pct(pf.cache_hit_rate()),
-            f(syncs_per_user_day, 1),
+            f(pf.syncs_per_user_day(), 1),
             pct(pf.revenue_loss_vs(&rt)),
             pct(pf.sla_violation_rate()),
         ]);

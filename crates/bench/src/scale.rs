@@ -79,6 +79,18 @@ impl Scale {
         }
     }
 
+    /// Worker-thread counts for the sharded-throughput sweep (E14c).
+    ///
+    /// Counts never exceed [`adpf_core::DEFAULT_SHARDS`] — beyond that,
+    /// extra threads have no shards to run.
+    pub fn thread_counts(self) -> Vec<usize> {
+        match self {
+            Scale::Micro => vec![1, 2],
+            Scale::Quick => vec![1, 2, 4],
+            Scale::Full => vec![1, 2, 4, 8],
+        }
+    }
+
     /// Days of warmup granted to predictors in offline evaluations.
     pub fn warmup_days(self) -> u64 {
         match self {
@@ -98,6 +110,16 @@ mod tests {
         assert!(Scale::Quick.iphone(1).num_users < Scale::Full.iphone(1).num_users);
         assert!(Scale::Quick.scaling_sizes().len() == 4);
         assert!(Scale::Quick.warmup_days() < Scale::Full.iphone(1).days as u64);
+    }
+
+    #[test]
+    fn thread_counts_stay_within_the_shard_budget() {
+        for scale in [Scale::Micro, Scale::Quick, Scale::Full] {
+            let counts = scale.thread_counts();
+            assert!(!counts.is_empty());
+            assert_eq!(counts[0], 1, "sweeps start from the sequential baseline");
+            assert!(counts.iter().all(|&t| t <= adpf_core::DEFAULT_SHARDS));
+        }
     }
 
     #[test]

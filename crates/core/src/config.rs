@@ -133,6 +133,17 @@ pub struct SystemConfig {
     pub sync_dropout: f64,
     /// Master seed (exchange randomness, candidate sampling).
     pub seed: u64,
+    /// RNG stream selector for sharded runs. Stream `0` (the default)
+    /// reproduces the unsharded seed derivation bit-for-bit; sharded runs
+    /// give shard `i` stream `i`, so every `(seed, shard)` pair draws
+    /// independent bid and fault randomness while the campaign catalog —
+    /// built from `seed` alone — stays identical across shards.
+    pub rng_stream: u64,
+    /// Fraction of every campaign budget available to this run, in
+    /// `(0, 1]`. Sharded runs set it to the shard's share of the
+    /// population so the shards' combined spending power never exceeds
+    /// the global budgets. `1.0` (the default) is the unsharded no-op.
+    pub budget_fraction: f64,
 }
 
 impl SystemConfig {
@@ -165,6 +176,8 @@ impl SystemConfig {
             advance_discount: 1.0,
             sync_dropout: 0.0,
             seed,
+            rng_stream: 0,
+            budget_fraction: 1.0,
         }
     }
 
@@ -226,6 +239,12 @@ impl SystemConfig {
         if !(0.0..=1.0).contains(&self.sync_dropout) {
             return Err(format!("sync_dropout {} outside [0, 1]", self.sync_dropout));
         }
+        if !(self.budget_fraction > 0.0 && self.budget_fraction <= 1.0) {
+            return Err(format!(
+                "budget_fraction {} outside (0, 1]",
+                self.budget_fraction
+            ));
+        }
         if self.mode == DeliveryMode::Prefetch && self.deadline < self.prefetch_interval {
             return Err(format!(
                 "deadline {} shorter than prefetch interval {}: replicas could never arrive",
@@ -283,6 +302,25 @@ mod tests {
         let mut c = SystemConfig::prefetch_default(1);
         c.advance_discount = 0.0;
         assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::prefetch_default(1);
+        c.budget_fraction = 0.0;
+        assert!(c.validate().is_err());
+        c.budget_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn defaults_select_the_unsharded_streams() {
+        let c = SystemConfig::prefetch_default(1);
+        assert_eq!(c.rng_stream, 0);
+        assert_eq!(c.budget_fraction, 1.0);
+        // Shard-specific knobs must not leak into report headers: all
+        // shards of one run share the same config description.
+        let mut sharded = c.clone();
+        sharded.rng_stream = 3;
+        sharded.budget_fraction = 0.25;
+        assert_eq!(sharded.describe(), c.describe());
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub mod sim;
 
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
 pub use report::SimReport;
-pub use sim::Simulator;
+pub use sim::{Simulator, DEFAULT_SHARDS};

@@ -41,6 +41,60 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// The identity element of [`SimReport::merge`]: a report of zero
+    /// users over zero slots, with every counter at zero.
+    pub fn empty() -> Self {
+        SimReport {
+            config: String::new(),
+            users: 0,
+            days: 0,
+            slots: 0,
+            impressions: 0,
+            cache_hits: 0,
+            realtime_fetches: 0,
+            unfilled: 0,
+            energy: EnergyBreakdown::default(),
+            syncs: 0,
+            syncs_skipped: 0,
+            syncs_dropped: 0,
+            replicas_assigned: 0,
+            per_user_energy_j: Vec::new(),
+            ledger: LedgerTotals::default(),
+        }
+    }
+
+    /// Accumulates another (disjoint) run's results into this report.
+    ///
+    /// This is the reduction step of sharded simulation: every additive
+    /// field — users, slots, impressions, sync counters, energy terms,
+    /// ledger totals — sums exactly, `days` takes the maximum (shards
+    /// share one horizon), and `per_user_energy_j` concatenates, so
+    /// merging shards in shard order rebuilds the original user indexing
+    /// (shards hold contiguous user ranges). Merging in a fixed order
+    /// also fixes the floating-point summation order, which keeps merged
+    /// reports deterministic. An empty `config` adopts the other's, so
+    /// [`SimReport::empty`] is a true identity.
+    pub fn merge(&mut self, other: &SimReport) {
+        if self.config.is_empty() {
+            self.config = other.config.clone();
+        }
+        self.users += other.users;
+        self.days = self.days.max(other.days);
+        self.slots += other.slots;
+        self.impressions += other.impressions;
+        self.cache_hits += other.cache_hits;
+        self.realtime_fetches += other.realtime_fetches;
+        self.unfilled += other.unfilled;
+        self.energy.absorb(&other.energy);
+        self.syncs += other.syncs;
+        self.syncs_skipped += other.syncs_skipped;
+        self.syncs_dropped += other.syncs_dropped;
+        self.replicas_assigned += other.replicas_assigned;
+        self.per_user_energy_j
+            .extend_from_slice(&other.per_user_energy_j);
+        self.ledger.merge(&other.ledger);
+    }
+
     /// Ad energy per displayed impression, in joules; `0.0` with no
     /// impressions.
     pub fn energy_per_impression_j(&self) -> f64 {
@@ -63,6 +117,28 @@ impl SimReport {
     /// SLA violation rate over pre-sold ads.
     pub fn sla_violation_rate(&self) -> f64 {
         self.ledger.sla_violation_rate()
+    }
+
+    /// Fraction of displayed impressions that were replication
+    /// duplicates; `0.0` when nothing was displayed.
+    pub fn duplicate_rate(&self) -> f64 {
+        let displays = self.impressions + self.ledger.duplicates;
+        if displays == 0 {
+            0.0
+        } else {
+            self.ledger.duplicates as f64 / displays as f64
+        }
+    }
+
+    /// Radio-waking syncs per user per day; `0.0` for an empty report
+    /// (no users or no days) rather than NaN.
+    pub fn syncs_per_user_day(&self) -> f64 {
+        let user_days = self.users as f64 * self.days as f64;
+        if user_days == 0.0 {
+            0.0
+        } else {
+            self.syncs as f64 / user_days
+        }
     }
 
     /// Billed revenue.
@@ -181,6 +257,68 @@ mod tests {
         assert_eq!(other.revenue_loss_vs(&base), 0.0);
         assert_eq!(base.energy_per_impression_j(), 0.0);
         assert_eq!(base.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_report_ratios_are_zero_not_nan() {
+        // Regression: every ratio accessor must return 0.0 (not NaN or a
+        // panic) on the all-zero report, so tables and summaries render
+        // sanely for degenerate runs.
+        let e = SimReport::empty();
+        assert_eq!(e.energy_per_impression_j(), 0.0);
+        assert_eq!(e.cache_hit_rate(), 0.0);
+        assert_eq!(e.sla_violation_rate(), 0.0);
+        assert_eq!(e.duplicate_rate(), 0.0);
+        assert_eq!(e.syncs_per_user_day(), 0.0);
+        assert!(!e.summary().contains("NaN"));
+    }
+
+    #[test]
+    fn ratio_accessors_compute_expected_values() {
+        let mut r = report(10.0, 1.0, 8);
+        r.ledger.duplicates = 2;
+        assert!((r.duplicate_rate() - 0.2).abs() < 1e-12);
+        r.users = 4;
+        r.days = 2;
+        r.syncs = 24;
+        assert!((r.syncs_per_user_day() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_users() {
+        let mut a = report(100.0, 10.0, 50);
+        a.cache_hits = 30;
+        a.syncs = 7;
+        a.ledger.sold = 40;
+        let mut b = report(40.0, 4.0, 20);
+        b.cache_hits = 10;
+        b.syncs = 3;
+        b.ledger.sold = 15;
+        b.days = 3;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.users, 2);
+        assert_eq!(merged.days, 3, "days take the max, not the sum");
+        assert_eq!(merged.slots, 70);
+        assert_eq!(merged.impressions, 70);
+        assert_eq!(merged.cache_hits, 40);
+        assert_eq!(merged.syncs, 10);
+        assert_eq!(merged.ledger.sold, 55);
+        assert!((merged.energy.total_j() - 140.0).abs() < 1e-9);
+        assert_eq!(merged.per_user_energy_j, vec![100.0, 40.0]);
+        assert!((merged.revenue() - 14.0).abs() < 1e-12);
+        assert_eq!(merged.config, a.config, "first config wins");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let r = report(55.0, 5.0, 12);
+        let mut left = SimReport::empty();
+        left.merge(&r);
+        assert_eq!(left, r, "empty.merge(r) == r, config adopted");
+        let mut right = r.clone();
+        right.merge(&SimReport::empty());
+        assert_eq!(right, r, "r.merge(empty) == r");
     }
 
     #[test]

@@ -18,6 +18,29 @@ use crate::report::SimReport;
 /// predictor output flooding the exchange.
 const MAX_SELL_PER_SYNC: u32 = 256;
 
+/// Number of logical shards used by [`Simulator::run_parallel`].
+///
+/// The shard count is fixed (then clamped to the population size) rather
+/// than derived from the thread count: shards are the unit of simulation
+/// semantics (candidate pools, RNG streams, budget shares) while threads
+/// are only a scheduling choice, so the same trace and seed produce
+/// bit-identical merged reports at any thread count.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Finalizes `z` through the 64-bit mix used by splitmix64/murmur3.
+///
+/// Used to spread the shard's `rng_stream` index across the seed space.
+/// Every operation maps zero to zero, so stream 0 leaves the master seed
+/// untouched — the unsharded derivation stays bit-identical.
+fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^= z >> 33;
+    z
+}
+
 /// Simulation event alphabet.
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -87,6 +110,12 @@ impl Simulator {
             ));
         }
 
+        // The campaign catalog is built from the master seed alone, so
+        // every shard of a sharded run sees the same advertisers; only the
+        // per-run randomness (bid sampling, fault injection) switches to
+        // the shard's stream, and budgets shrink to the shard's population
+        // share so combined spending can never exceed the global budgets.
+        let stream_seed = config.seed ^ mix64(config.rng_stream);
         let mut exchange = Exchange::new(
             CampaignCatalog::synthetic_with_targeting(
                 config.campaigns,
@@ -98,6 +127,8 @@ impl Simulator {
             config.seed,
         );
         exchange.advance_discount = config.advance_discount;
+        exchange.reseed_bids(stream_seed);
+        exchange.scale_budgets(config.budget_fraction);
 
         let mut queue = EventQueue::with_capacity(slots.len() + clients.len() + 16);
         for (i, slot) in slots.iter().enumerate() {
@@ -117,7 +148,7 @@ impl Simulator {
         }
 
         let planner = config.planner.build();
-        let fault_rng = StdRng::seed_from_u64(config.seed ^ 0xd20_0ff);
+        let fault_rng = StdRng::seed_from_u64(stream_seed ^ 0xd20_0ff);
         Self {
             config,
             clients,
@@ -152,6 +183,83 @@ impl Simulator {
             }
         }
         self.finalize()
+    }
+
+    /// Runs `config` over `trace` as [`DEFAULT_SHARDS`] independent user
+    /// shards scheduled across `threads` OS threads, and merges the
+    /// per-shard reports.
+    ///
+    /// The merged report is a deterministic function of `(config, trace)`
+    /// alone: the shard count is fixed (clamped to the population), each
+    /// shard draws from its own `(seed, shard)` RNG stream and budget
+    /// share, and reports merge in shard order. Changing `threads` changes
+    /// only wall-clock time, never the result. Note that the *sharded*
+    /// result differs from [`Simulator::run`] on the unsharded trace
+    /// whenever more than one shard is used — replication candidates are
+    /// confined to a shard — which is the price of embarrassingly parallel
+    /// execution.
+    pub fn run_parallel(config: &SystemConfig, trace: &Trace, threads: usize) -> SimReport {
+        Self::run_sharded(config, trace, DEFAULT_SHARDS, threads)
+    }
+
+    /// [`Simulator::run_parallel`] with an explicit logical shard count.
+    ///
+    /// `n_shards` is clamped to the population size; `n_shards = 1`
+    /// reproduces [`Simulator::run`] bit-for-bit (stream 0, full
+    /// budgets, the whole trace). The report is independent of `threads`.
+    pub fn run_sharded(
+        config: &SystemConfig,
+        trace: &Trace,
+        n_shards: usize,
+        threads: usize,
+    ) -> SimReport {
+        let shards = trace.split_users(n_shards);
+        let n = shards.len();
+        let threads = threads.clamp(1, n);
+        let total_users = trace.num_users();
+        let configs: Vec<SystemConfig> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let mut c = config.clone();
+                c.rng_stream = i as u64;
+                c.budget_fraction = if total_users == 0 {
+                    1.0
+                } else {
+                    shard.num_users() as f64 / total_users as f64
+                };
+                c
+            })
+            .collect();
+
+        let mut results: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            for t in 0..threads {
+                let tx = tx.clone();
+                let shards = &shards;
+                let configs = &configs;
+                scope.spawn(move || {
+                    for i in (t..n).step_by(threads) {
+                        let report = Simulator::new(configs[i].clone(), &shards[i]).run();
+                        let _ = tx.send((i, report));
+                    }
+                });
+            }
+            drop(tx);
+            for (i, report) in rx {
+                results[i] = Some(report);
+            }
+        });
+
+        // Merge strictly in shard order: user ranges concatenate back to
+        // the original indexing and the floating-point summation order is
+        // fixed regardless of which thread finished first.
+        let mut merged = SimReport::empty();
+        for report in &results {
+            merged.merge(report.as_ref().expect("every shard reports"));
+        }
+        merged
     }
 
     fn on_slot(&mut self, now: SimTime, idx: u32) {
@@ -661,6 +769,74 @@ mod tests {
             healthy.cache_hit_rate()
         );
         assert!(flaky.sla_violation_rate() < 0.25);
+    }
+
+    #[test]
+    fn single_shard_run_matches_sequential_run() {
+        // One shard means stream 0, full budgets, and the whole trace:
+        // the sharded path must reproduce `run()` bit-for-bit.
+        let t = trace();
+        let sequential = Simulator::new(SystemConfig::prefetch_default(9), &t).run();
+        let sharded = Simulator::run_sharded(&SystemConfig::prefetch_default(9), &t, 1, 1);
+        assert_eq!(sequential, sharded);
+    }
+
+    #[test]
+    fn sharded_report_is_independent_of_thread_count() {
+        let t = trace();
+        let cfg = SystemConfig::prefetch_default(9);
+        let one = Simulator::run_parallel(&cfg, &t, 1);
+        let three = Simulator::run_parallel(&cfg, &t, 3);
+        let eight = Simulator::run_parallel(&cfg, &t, 8);
+        assert_eq!(one, three);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn sharded_run_covers_the_whole_population() {
+        let t = trace();
+        let cfg = SystemConfig::prefetch_default(4);
+        let r = Simulator::run_parallel(&cfg, &t, 2);
+        assert_eq!(r.users, t.num_users());
+        assert_eq!(r.per_user_energy_j.len(), t.num_users() as usize);
+        assert_eq!(r.days, t.days());
+        assert_eq!(
+            r.slots,
+            t.ad_slots(cfg.ad_refresh).len() as u64,
+            "every slot is simulated in exactly one shard"
+        );
+        assert_eq!(r.impressions + r.unfilled, r.slots);
+        assert_eq!(r.ledger.billed + r.ledger.expired, r.ledger.sold);
+    }
+
+    #[test]
+    fn sharded_prefetch_still_saves_energy() {
+        let t = trace();
+        let rt = Simulator::run_parallel(&SystemConfig::realtime(1), &t, 2);
+        let pf = Simulator::run_parallel(&SystemConfig::prefetch_default(1), &t, 2);
+        assert!(
+            pf.energy_savings_vs(&rt) > 0.40,
+            "sharding must not destroy the paper's headline effect: {}",
+            pf.summary()
+        );
+    }
+
+    #[test]
+    fn rng_streams_decorrelate_shard_randomness() {
+        // Two configs differing only in stream draw different bid
+        // randomness, while stream 0 reproduces the legacy derivation.
+        let t = trace();
+        let base = SystemConfig::prefetch_default(9);
+        let mut streamed = base.clone();
+        streamed.rng_stream = 1;
+        let r0 = Simulator::new(base.clone(), &t).run();
+        let r0_again = Simulator::new(base, &t).run();
+        let r1 = Simulator::new(streamed, &t).run();
+        assert_eq!(r0, r0_again);
+        assert_ne!(
+            r0.ledger.revenue, r1.ledger.revenue,
+            "distinct streams should produce distinct auction outcomes"
+        );
     }
 
     #[test]

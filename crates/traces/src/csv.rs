@@ -173,6 +173,20 @@ mod tests {
     }
 
     #[test]
+    fn shard_round_trip_preserves_each_shard() {
+        // A shard is a first-class trace: it serializes and re-parses
+        // identically, including its (possibly session-free) population
+        // size and the global horizon carried by the #meta line.
+        let trace = PopulationConfig::small_test(23).generate();
+        for shard in trace.split_users(4) {
+            let mut buf = Vec::new();
+            write_trace(&shard, &mut buf).unwrap();
+            let back = read_trace(&buf[..]).unwrap();
+            assert_eq!(shard, back);
+        }
+    }
+
+    #[test]
     fn files_without_meta_are_inferred() {
         let data = format!("{HEADER}\n3,1,1000,2000\n");
         let t = read_trace(data.as_bytes()).unwrap();

@@ -160,6 +160,47 @@ impl Trace {
         by_user
     }
 
+    /// Partitions the population into `n_shards` contiguous user-id
+    /// ranges for sharded simulation.
+    ///
+    /// Shard `i` covers original users `[offset_i, offset_i + len_i)`
+    /// (offsets are the cumulative shard sizes, in order), remapped to the
+    /// dense range `0..len_i`, so each shard is itself a well-formed
+    /// [`Trace`]. Shard sizes are balanced: they differ by at most one
+    /// user, with the earlier shards taking the remainder. Every shard
+    /// keeps the *global* horizon, so time-driven schedules (sync
+    /// periods, expiry sweeps) run identically whether a user is
+    /// simulated in the whole trace or in their shard.
+    ///
+    /// `n_shards` is clamped to `[1, num_users]` (an empty trace yields a
+    /// single empty shard): a shard is never left without users.
+    /// Concatenating the shards' users in shard order reconstructs the
+    /// original user indexing, which is what report merging relies on to
+    /// reassemble per-user series.
+    pub fn split_users(&self, n_shards: usize) -> Vec<Trace> {
+        let users = self.num_users as usize;
+        let n = n_shards.clamp(1, users.max(1));
+        let base = users / n;
+        let extra = users % n;
+        let mut shards = Vec::with_capacity(n);
+        let mut offset = 0u32;
+        for i in 0..n {
+            let len = (base + usize::from(i < extra)) as u32;
+            let sessions: Vec<Session> = self
+                .sessions
+                .iter()
+                .filter(|s| s.user.0 >= offset && s.user.0 < offset + len)
+                .map(|s| Session {
+                    user: UserId(s.user.0 - offset),
+                    ..*s
+                })
+                .collect();
+            shards.push(Trace::new(sessions, len, self.horizon));
+            offset += len;
+        }
+        shards
+    }
+
     /// Counts slots per fixed window of length `window` for one user's
     /// slot-time series, covering `[0, horizon)`.
     pub fn window_counts(
@@ -258,6 +299,82 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(t.days(), 2);
+    }
+
+    #[test]
+    fn split_users_partitions_population_and_sessions() {
+        // 7 users, uneven activity (user 5 has none), split 3 ways:
+        // shard sizes 3/2/2 covering users 0-2, 3-4, 5-6.
+        let sessions = vec![
+            s(0, 0, 0, 10),
+            s(1, 0, 5, 10),
+            s(2, 1, 20, 10),
+            s(3, 0, 30, 10),
+            s(4, 2, 40, 10),
+            s(6, 0, 50, 10),
+            s(6, 1, 60, 10),
+        ];
+        let t = Trace::new(sessions, 7, SimTime::from_secs(1_000));
+        let shards = t.split_users(3);
+        assert_eq!(
+            shards.iter().map(|s| s.num_users()).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+        // Every session lands in exactly one shard.
+        let total: usize = shards.iter().map(|s| s.sessions().len()).sum();
+        assert_eq!(total, t.sessions().len());
+        // User ids are dense within each shard, and mapping back through
+        // the cumulative offsets recovers the original sessions.
+        let mut offset = 0u32;
+        let mut recovered = Vec::new();
+        for shard in &shards {
+            for sess in shard.sessions() {
+                assert!(sess.user.0 < shard.num_users());
+                recovered.push(Session {
+                    user: UserId(sess.user.0 + offset),
+                    ..*sess
+                });
+            }
+            assert_eq!(shard.horizon(), t.horizon(), "global horizon kept");
+            offset += shard.num_users();
+        }
+        recovered.sort_by(|a, b| a.start.cmp(&b.start).then(a.user.cmp(&b.user)));
+        assert_eq!(recovered, t.sessions());
+    }
+
+    #[test]
+    fn split_users_preserves_slot_counts() {
+        let sessions: Vec<Session> = (0..10).map(|u| s(u, 0, u as u64 * 100, 95)).collect();
+        let t = Trace::new(sessions, 10, SimTime::ZERO);
+        let refresh = SimDuration::from_secs(30);
+        let whole = t.ad_slots(refresh).len();
+        for n in [1, 2, 3, 10] {
+            let sharded: usize = t
+                .split_users(n)
+                .iter()
+                .map(|s| s.ad_slots(refresh).len())
+                .sum();
+            assert_eq!(sharded, whole, "slot count must survive a {n}-way split");
+        }
+    }
+
+    #[test]
+    fn split_users_clamps_shard_count() {
+        let t = Trace::new(vec![s(0, 0, 0, 10), s(1, 0, 5, 10)], 2, SimTime::ZERO);
+        assert_eq!(t.split_users(0).len(), 1, "zero shards clamps to one");
+        assert_eq!(t.split_users(100).len(), 2, "never more shards than users");
+        let empty = Trace::new(Vec::new(), 0, SimTime::from_secs(5));
+        let shards = empty.split_users(4);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].num_users(), 0);
+    }
+
+    #[test]
+    fn single_shard_split_is_the_whole_trace() {
+        let t = Trace::new(vec![s(0, 0, 0, 10), s(1, 0, 5, 10)], 2, SimTime::ZERO);
+        let shards = t.split_users(1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], t);
     }
 
     #[test]

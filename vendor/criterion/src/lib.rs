@@ -1,0 +1,360 @@
+//! Offline stand-in for the subset of the `criterion 0.5` API this
+//! workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `criterion` to this in-tree crate (see `[patch.crates-io]`
+//! in the root `Cargo.toml`). It is a plain wall-clock timing harness:
+//! no statistical analysis, outlier detection, plots, or baselines —
+//! each benchmark is warmed up, then timed for `sample_size` samples,
+//! and the per-iteration mean / min / max plus any configured
+//! throughput are printed to stdout.
+//!
+//! Supported surface: `Criterion::benchmark_group`, group knobs
+//! (`sample_size`, `warm_up_time`, `measurement_time`, `throughput`),
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `Throughput::{Elements, Bytes}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//! Benchmarks may be filtered by passing a substring argument, as with
+//! `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How expensive each batch setup is; the real criterion uses this to
+/// size batches. Here every variant times one routine call per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    /// Per-iteration wall-clock times, one entry per sample.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; each sample runs enough iterations
+    /// to amortize timer overhead for fast routines.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Size the per-sample iteration count from a calibration run so
+        // one sample is neither a single timer tick nor the whole
+        // measurement budget.
+        let calib = Instant::now();
+        std::hint::black_box(routine());
+        let once = calib.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let iters = ((per_sample / once.as_secs_f64()).floor() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.sample_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.sample_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run each benchmark before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total time spent timing each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            sample_ns: Vec::with_capacity(self.sample_size),
+        };
+        // Warm-up: run the body untimed until the warm-up budget is spent.
+        let warm_end = Instant::now() + self.warm_up_time;
+        let mut warm = Bencher {
+            samples: 1,
+            measurement_time: Duration::from_millis(1),
+            sample_ns: Vec::new(),
+        };
+        while Instant::now() < warm_end {
+            warm.sample_ns.clear();
+            f(&mut warm);
+        }
+        f(&mut b);
+        report(&full, &b.sample_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, sample_ns: &[f64], throughput: Option<Throughput>) {
+    if sample_ns.is_empty() {
+        println!("{name:<40} no samples recorded");
+        return;
+    }
+    let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+    let min = sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sample_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 * 1e9 / mean),
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} mean {:>12} [{} .. {}]{rate}",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Reads the benchmark filter from the command line, skipping the
+    /// flags cargo passes to bench binaries (`--bench`, `--profile-time
+    /// <secs>`, etc.).
+    fn default() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--profile-time" || a == "--save-baseline" || a == "--baseline" {
+                let _ = args.next();
+            } else if !a.starts_with('-') {
+                filter = Some(a);
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map_or(true, |f| full_name.contains(f))
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        };
+        g.bench_function(id, f);
+        self
+    }
+
+    /// No-op: this harness has no persisted reports to flush.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            measurement_time: Duration::from_millis(10),
+            sample_ns: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.sample_ns.len(), 5);
+        assert!(b.sample_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_not_setup() {
+        let mut b = Bencher {
+            samples: 3,
+            measurement_time: Duration::from_millis(10),
+            sample_ns: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.sample_ns.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        assert_eq!(
+            BenchmarkId::new("plan", "greedy").to_string(),
+            "plan/greedy"
+        );
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion {
+            filter: Some("end_to_end".into()),
+        };
+        assert!(c.matches("end_to_end/realtime"));
+        assert!(!c.matches("auction/run"));
+        let all = Criterion { filter: None };
+        assert!(all.matches("anything"));
+    }
+}

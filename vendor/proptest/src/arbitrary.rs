@@ -1,0 +1,81 @@
+//! `any::<T>()` — whole-domain strategies per type.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats over a wide range (no NaN/inf: the workspace's
+    /// properties all assume finite inputs).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let magnitude: f64 = rng.gen_range(-300.0..300.0);
+        let sign = if rng.next_u64() & 1 == 1 { 1.0 } else { -1.0 };
+        sign * 10f64.powf(magnitude / 10.0)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u64_spans_orders_of_magnitude() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vals: Vec<u64> = (0..64).map(|_| any::<u64>().generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v > u64::MAX / 4));
+        assert!(vals.iter().any(|&v| v < u64::MAX / 4));
+    }
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals: Vec<bool> = (0..64).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,55 @@
+//! Collection strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec<T>` with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// is drawn uniformly from `len` (half-open, like proptest's size
+/// ranges).
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = vec(0u64..100, 2..10);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn nested_tuple_elements_work() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = vec((0u8..3, 0u64..20), 1..50);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&(a, b)| a < 3 && b < 20));
+    }
+}

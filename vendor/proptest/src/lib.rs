@@ -1,0 +1,164 @@
+//! Offline stand-in for the subset of the `proptest 1.x` API this
+//! workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `proptest` to this in-tree crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). It supports the forms the workspace's property
+//! tests actually use:
+//!
+//! - `proptest! { ... }` blocks, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! - strategies: numeric ranges (`0u64..100`, `0.0f64..1.0`),
+//!   `any::<T>()`, tuples of strategies, `prop::collection::vec`,
+//!   `Just`, and `.prop_map`;
+//! - assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!`.
+//!
+//! Compared to the real proptest there is **no shrinking** and no
+//! persisted failure seeds: each case is generated from a deterministic
+//! per-case seed, so failures reproduce by rerunning the test, and the
+//! failing case's generated inputs are printed via the panic message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports property tests start from.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each function runs `config.cases` times with
+/// inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($body:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $cfg; $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($body)*
+        }
+    };
+}
+
+/// Internal expansion of the test functions inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    // Render the inputs before the body runs: the body may
+                    // consume them by value.
+                    let __inputs = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}  ")),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}\ninputs: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case (counted as passing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
