@@ -1,7 +1,26 @@
 #!/usr/bin/env sh
 # Local CI gate: build, test, and formatting check. Run from the repo root.
+#
+# `./ci.sh quick` runs only the perf smoke: the fixed-seed smoke workload
+# is replayed and its merged report hash compared to the committed golden
+# below. Any divergence means a change altered simulated outcomes —
+# intentional behavior changes must update the golden alongside the code;
+# silent drift from perf work is caught for free.
 set -eux
+
+SMOKE_GOLDEN="smoke-hash: ba08fcf9274d6de0"
+
+perf_smoke() {
+    test "$(./target/release/baseline --smoke)" = "$SMOKE_GOLDEN"
+}
+
+if [ "${1:-}" = "quick" ]; then
+    cargo build --release -p adpf-bench
+    perf_smoke
+    exit 0
+fi
 
 cargo build --release --workspace
 cargo test -q --workspace --release
 cargo fmt --check
+perf_smoke

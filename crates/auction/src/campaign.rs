@@ -31,11 +31,61 @@ pub struct BidModel {
 }
 
 impl BidModel {
+    /// Precomputes the model's sampling state (the lognormal parameter
+    /// conversion: two `ln` calls and a square root) so per-slot bids
+    /// skip straight to the draw. Campaign bid models never change after
+    /// construction, so preparing once per campaign is sound.
+    pub fn prepare(&self) -> PreparedBid {
+        PreparedBid {
+            participation: self.participation,
+            target_category: self.target_category,
+            dist: LogNormal::from_mean_cv(self.mean_price, self.cv).ok(),
+        }
+    }
+
     /// Samples one bid for a slot with the given (possibly unknown) app
     /// category, or `None` if the campaign sits this slot out.
     pub fn sample_bid<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
+        slot_category: Option<u8>,
+    ) -> Option<f64> {
+        self.prepare().sample(rng, slot_category)
+    }
+}
+
+/// A [`BidModel`] with its bid distribution pre-parameterized.
+///
+/// [`PreparedBid::sample`] consumes the RNG in exactly the order the
+/// original `BidModel::sample_bid` did — category check (no draw), then
+/// the participation draw, then the bid draw — so swapping prepared
+/// models into an auction leaves every RNG stream, and therefore every
+/// simulated outcome, bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedBid {
+    participation: f64,
+    target_category: Option<u8>,
+    /// `None` when the model's `(mean_price, cv)` are out of the
+    /// distribution's domain — such campaigns never bid (matching
+    /// `from_mean_cv(..).ok()?` in the unprepared path).
+    dist: Option<LogNormal>,
+}
+
+impl PreparedBid {
+    /// Samples one bid, or `None` if the campaign sits this slot out.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, slot_category: Option<u8>) -> Option<f64> {
+        let mut spare = None;
+        self.sample_paired(rng, &mut spare, slot_category)
+    }
+
+    /// [`PreparedBid::sample`] with a caller-held cache for the normal
+    /// sampler's second polar variate. An exchange threading one `spare`
+    /// slot through every bid draw of its stream halves the rejection
+    /// loops; the bid distribution is unchanged.
+    pub fn sample_paired<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        spare: &mut Option<f64>,
         slot_category: Option<u8>,
     ) -> Option<f64> {
         if let Some(c) = self.target_category {
@@ -46,8 +96,9 @@ impl BidModel {
         if self.participation < 1.0 && rng.gen::<f64>() >= self.participation {
             return None;
         }
-        let dist = LogNormal::from_mean_cv(self.mean_price, self.cv).ok()?;
-        Some(dist.sample(rng))
+        // The participation draw above must happen even when `dist` is
+        // `None`, mirroring the unprepared evaluation order.
+        Some(self.dist?.sample_paired(rng, spare))
     }
 }
 

@@ -4,7 +4,7 @@ use adpf_desim::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::campaign::{Campaign, CampaignId};
+use crate::campaign::{Campaign, CampaignId, PreparedBid};
 
 /// Identifier of one sold ad (one paid impression commitment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,7 +87,14 @@ pub struct SoldAd {
 #[derive(Debug)]
 pub struct Exchange {
     campaigns: Vec<Campaign>,
+    /// Per-campaign [`PreparedBid`]s, index-aligned with `campaigns`.
+    /// Bid models are immutable after construction (only budgets move),
+    /// so these never need refreshing.
+    prepared: Vec<PreparedBid>,
     rng: StdRng,
+    /// Banked second variate of the polar normal sampler, threaded
+    /// through every bid draw of this exchange's stream.
+    spare_normal: Option<f64>,
     next_ad: u64,
     /// Minimum clearing price; slots failing it go unfilled.
     pub reserve_price: f64,
@@ -105,9 +112,12 @@ impl Exchange {
 
     /// Creates an exchange over the given campaigns.
     pub fn new(campaigns: Vec<Campaign>, seed: u64) -> Self {
+        let prepared = campaigns.iter().map(|c| c.bid.prepare()).collect();
         Self {
             campaigns,
+            prepared,
             rng: StdRng::seed_from_u64(seed ^ 0x5eed_ba11),
+            spare_normal: None,
             next_ad: 0,
             reserve_price: 0.0001,
             advance_discount: Self::DEFAULT_ADVANCE_DISCOUNT,
@@ -126,7 +136,11 @@ impl Exchange {
             if !c.can_afford(c.bid.mean_price) {
                 continue;
             }
-            let Some(bid) = c.bid.sample_bid(&mut self.rng, slot.category) else {
+            let Some(bid) = self.prepared[i].sample_paired(
+                &mut self.rng,
+                &mut self.spare_normal,
+                slot.category,
+            ) else {
                 continue;
             };
             if bid < self.reserve_price || !c.can_afford(bid) {
@@ -189,6 +203,9 @@ impl Exchange {
     /// reseeding with the construction seed is a stream reset.
     pub fn reseed_bids(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed ^ 0x5eed_ba11);
+        // A stream reset must also drop the banked polar variate, or the
+        // first post-reseed draw would leak the old stream's randomness.
+        self.spare_normal = None;
     }
 
     /// Refunds a campaign after an SLA expiration.

@@ -34,5 +34,5 @@ pub mod campaign;
 pub mod exchange;
 
 pub use billing::{AdState, ImpressionOutcome, Ledger, LedgerTotals};
-pub use campaign::{BidModel, Campaign, CampaignCatalog, CampaignId};
+pub use campaign::{BidModel, Campaign, CampaignCatalog, CampaignId, PreparedBid};
 pub use exchange::{AdId, Exchange, SlotKind, SlotOffer, SoldAd};

@@ -1,0 +1,365 @@
+//! Fixed-seed throughput baselines: the repo's recorded perf trajectory.
+//!
+//! Every perf-sensitive PR runs the `baseline` binary, which replays
+//! deterministic workloads and appends one measurement entry per
+//! `(label, threads)` pair to `BENCH_baseline.json`. Because the
+//! workloads are fixed-seed, entries recorded before and after a change
+//! are directly comparable, and the report hash doubles as a determinism
+//! check: an optimization that alters any simulated outcome — even one
+//! bit of one float — changes the hash.
+
+use std::io;
+use std::time::Instant;
+
+use adpf_core::{SimReport, Simulator, SystemConfig};
+use adpf_traces::{PopulationConfig, Trace};
+
+/// A fixed-seed throughput workload.
+///
+/// The trace and config seeds are part of the workload identity: two
+/// measurements are comparable only when every field here matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineWorkload {
+    /// Workload name recorded with each measurement.
+    pub name: &'static str,
+    /// Population size.
+    pub users: u32,
+    /// Trace length in days.
+    pub days: u32,
+    /// Seed for trace generation.
+    pub trace_seed: u64,
+    /// Master seed for the simulator config.
+    pub config_seed: u64,
+}
+
+impl BaselineWorkload {
+    /// The E14-style throughput workload: an iPhone-shaped population
+    /// large enough that a run takes O(seconds), replayed under the
+    /// default prefetch config.
+    pub fn e14_style() -> Self {
+        Self {
+            name: "e14-iphone-300u-7d",
+            users: 300,
+            days: 7,
+            trace_seed: 42,
+            config_seed: 1,
+        }
+    }
+
+    /// A seconds-scale smoke workload for CI: small enough to run in a
+    /// quick gate, still exercising every simulator subsystem.
+    pub fn smoke() -> Self {
+        Self {
+            name: "smoke-small-777",
+            users: 0, // Population comes from `small_test`; users unused.
+            days: 0,
+            trace_seed: 777,
+            config_seed: 5,
+        }
+    }
+
+    /// Generates the workload's trace.
+    pub fn trace(&self) -> Trace {
+        if self.name.starts_with("smoke") {
+            PopulationConfig::small_test(self.trace_seed).generate()
+        } else {
+            PopulationConfig {
+                num_users: self.users,
+                days: self.days,
+                ..PopulationConfig::iphone_like(self.trace_seed)
+            }
+            .generate()
+        }
+    }
+
+    /// Builds the workload's simulator config.
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig::prefetch_default(self.config_seed)
+    }
+}
+
+/// One recorded throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineMeasurement {
+    /// Free-form label naming the code state (e.g. `pre-hotpath`).
+    pub label: String,
+    /// Workload name (see [`BaselineWorkload::name`]).
+    pub workload: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Simulation events processed: slots plus syncs (taken, skipped,
+    /// and dropped) — the unit of simulator work.
+    pub events: u64,
+    /// Ads placed (advance sales registered with the ledger).
+    pub ads_placed: u64,
+    /// `events / wall_s`.
+    pub events_per_sec: f64,
+    /// `ads_placed / wall_s`.
+    pub ads_placed_per_sec: f64,
+    /// FNV-1a hash of the canonical report bytes (determinism witness).
+    pub report_hash: u64,
+}
+
+impl BaselineMeasurement {
+    /// Serializes the measurement as one JSON object on a single line.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"workload\":\"{}\",\"threads\":{},",
+                "\"wall_s\":{:.4},\"events\":{},\"events_per_sec\":{:.0},",
+                "\"ads_placed\":{},\"ads_placed_per_sec\":{:.0},",
+                "\"report_hash\":\"{:016x}\"}}"
+            ),
+            self.label,
+            self.workload,
+            self.threads,
+            self.wall_s,
+            self.events,
+            self.events_per_sec,
+            self.ads_placed,
+            self.ads_placed_per_sec,
+            self.report_hash,
+        )
+    }
+}
+
+/// Runs `workload` once at `threads` worker threads and measures it.
+///
+/// The returned numbers are wall-clock (noisy between machines); the
+/// `report_hash` is exact and machine-independent.
+pub fn measure(workload: &BaselineWorkload, threads: usize, label: &str) -> BaselineMeasurement {
+    let trace = workload.trace();
+    let cfg = workload.config();
+    let t0 = Instant::now();
+    let report = Simulator::run_parallel(&cfg, &trace, threads);
+    let wall_s = t0.elapsed().as_secs_f64();
+    measurement_from(&report, workload, threads, label, wall_s)
+}
+
+/// Builds a measurement record from an already-produced report.
+pub fn measurement_from(
+    report: &SimReport,
+    workload: &BaselineWorkload,
+    threads: usize,
+    label: &str,
+    wall_s: f64,
+) -> BaselineMeasurement {
+    let events = report.slots + report.syncs + report.syncs_skipped + report.syncs_dropped;
+    let ads_placed = report.ledger.sold;
+    let denom = wall_s.max(1e-9);
+    BaselineMeasurement {
+        label: label.to_string(),
+        workload: workload.name.to_string(),
+        threads,
+        wall_s,
+        events,
+        ads_placed,
+        events_per_sec: events as f64 / denom,
+        ads_placed_per_sec: ads_placed as f64 / denom,
+        report_hash: report_hash(report),
+    }
+}
+
+/// FNV-1a over a canonical byte serialization of every report field.
+///
+/// Any change to any simulated outcome — a counter, a float bit, a
+/// per-user energy entry — changes this hash, which is what makes it a
+/// cheap determinism witness for perf work.
+pub fn report_hash(r: &SimReport) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(r.config.as_bytes());
+    h.write_u64(r.users as u64);
+    h.write_u64(r.days as u64);
+    h.write_u64(r.slots);
+    h.write_u64(r.impressions);
+    h.write_u64(r.cache_hits);
+    h.write_u64(r.realtime_fetches);
+    h.write_u64(r.unfilled);
+    h.write_f64(r.energy.promotion_j);
+    h.write_f64(r.energy.transfer_j);
+    h.write_f64(r.energy.tail_j);
+    h.write_u64(r.energy.transfers);
+    h.write_u64(r.energy.promotions);
+    h.write_u64(r.energy.bytes_down);
+    h.write_u64(r.energy.bytes_up);
+    h.write_u64(r.energy.active_time.as_millis());
+    h.write_u64(r.syncs);
+    h.write_u64(r.syncs_skipped);
+    h.write_u64(r.syncs_dropped);
+    h.write_u64(r.replicas_assigned);
+    h.write_u64(r.per_user_energy_j.len() as u64);
+    for &e in &r.per_user_energy_j {
+        h.write_f64(e);
+    }
+    h.write_u64(r.ledger.sold);
+    h.write_u64(r.ledger.billed);
+    h.write_f64(r.ledger.revenue);
+    h.write_f64(r.ledger.sold_value);
+    h.write_u64(r.ledger.expired);
+    h.write_f64(r.ledger.refunded);
+    h.write_u64(r.ledger.duplicates);
+    h.write_u64(r.ledger.late_displays);
+    h.finish()
+}
+
+/// 64-bit FNV-1a, dependency-free and stable across platforms.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Extracts the entry lines of an existing `BENCH_baseline.json`.
+///
+/// The file is a JSON array with one object per line; this parser only
+/// needs to split it back into those lines, so hand-rolled JSON stays
+/// honest (we re-emit lines verbatim).
+pub fn parse_entry_lines(contents: &str) -> Vec<String> {
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// Renders entry lines back into the JSON-array file format.
+pub fn render_file(entries: &[String]) -> String {
+    if entries.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Appends `new` measurements to the JSON file at `path`, preserving
+/// previously recorded entries verbatim.
+pub fn append_to_file(path: &str, new: &[BaselineMeasurement]) -> io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(contents) => parse_entry_lines(&contents),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    entries.extend(new.iter().map(BaselineMeasurement::to_json_line));
+    std::fs::write(path, render_file(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_deterministic_across_threads() {
+        let w = BaselineWorkload::smoke();
+        let a = measure(&w, 1, "t");
+        let b = measure(&w, 4, "t");
+        assert_eq!(
+            a.report_hash, b.report_hash,
+            "hash must not depend on threads"
+        );
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.ads_placed, b.ads_placed);
+        assert!(a.events > 0 && a.ads_placed > 0);
+    }
+
+    #[test]
+    fn report_hash_is_sensitive_to_every_field_class() {
+        let w = BaselineWorkload::smoke();
+        let base = Simulator::run_parallel(&w.config(), &w.trace(), 1);
+        let h0 = report_hash(&base);
+        let mut counters = base.clone();
+        counters.cache_hits += 1;
+        assert_ne!(report_hash(&counters), h0);
+        let mut floats = base.clone();
+        // One ULP, not a fixed epsilon: the hash covers exact bit
+        // patterns, and a fixed offset can round away at large values.
+        floats.ledger.revenue = floats.ledger.revenue.next_up();
+        assert_ne!(report_hash(&floats), h0);
+        let mut series = base.clone();
+        if let Some(e) = series.per_user_energy_j.first_mut() {
+            *e = e.next_up();
+        }
+        assert_ne!(report_hash(&series), h0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_existing_entries() {
+        let m = BaselineMeasurement {
+            label: "pre".into(),
+            workload: "w".into(),
+            threads: 1,
+            wall_s: 1.25,
+            events: 1000,
+            ads_placed: 500,
+            events_per_sec: 800.0,
+            ads_placed_per_sec: 400.0,
+            report_hash: 0xdead_beef,
+        };
+        let file = render_file(&[m.to_json_line()]);
+        let lines = parse_entry_lines(&file);
+        assert_eq!(lines, vec![m.to_json_line()]);
+        // Appending keeps old lines byte-identical.
+        let file2 = render_file(
+            &lines
+                .iter()
+                .cloned()
+                .chain([m.to_json_line()])
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(parse_entry_lines(&file2).len(), 2);
+        assert!(file2.contains("\"report_hash\":\"00000000deadbeef\""));
+    }
+
+    #[test]
+    fn entry_line_is_valid_single_object() {
+        let m = measure(&BaselineWorkload::smoke(), 1, "x");
+        let line = m.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        for key in [
+            "label",
+            "workload",
+            "threads",
+            "wall_s",
+            "events",
+            "events_per_sec",
+            "ads_placed",
+            "ads_placed_per_sec",
+            "report_hash",
+        ] {
+            assert!(line.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+    }
+}

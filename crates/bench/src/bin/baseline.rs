@@ -1,0 +1,105 @@
+//! Records fixed-seed throughput baselines into `BENCH_baseline.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! baseline --label pre-change             # measure and append to BENCH_baseline.json
+//! baseline --label post --threads-list 1,4
+//! baseline --smoke                        # CI gate: print the smoke report hash
+//! ```
+//!
+//! `--smoke` runs the small fixed-seed workload at 1 and 4 threads,
+//! verifies the reports are bit-identical, and prints
+//! `smoke-hash: <hex>`; ci.sh compares that hash against the committed
+//! golden value to catch determinism regressions from perf work.
+
+use std::process::ExitCode;
+
+use adpf_bench::baseline::{append_to_file, measure, BaselineWorkload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = String::from("current");
+    let mut out = String::from("BENCH_baseline.json");
+    let mut threads_list = vec![1usize, 4];
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: baseline [--smoke] [--label NAME] [--out PATH] [--threads-list 1,4]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag @ ("--label" | "--out" | "--threads-list") => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("flag `{flag}` is missing its value");
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--label" => label = value.clone(),
+                    "--out" => out = value.clone(),
+                    _ => {
+                        let parsed: Result<Vec<usize>, _> =
+                            value.split(',').map(str::parse).collect();
+                        match parsed {
+                            Ok(t) if !t.is_empty() && t.iter().all(|&n| n >= 1) => threads_list = t,
+                            _ => {
+                                eprintln!("--threads-list wants comma-separated positives");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if smoke {
+        let w = BaselineWorkload::smoke();
+        let a = measure(&w, 1, "smoke");
+        let b = measure(&w, 4, "smoke");
+        if a.report_hash != b.report_hash {
+            eprintln!(
+                "smoke FAILED: 1-thread hash {:016x} != 4-thread hash {:016x}",
+                a.report_hash, b.report_hash
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("smoke-hash: {:016x}", a.report_hash);
+        return ExitCode::SUCCESS;
+    }
+
+    let w = BaselineWorkload::e14_style();
+    let mut measurements = Vec::new();
+    for &threads in &threads_list {
+        let m = measure(&w, threads, &label);
+        println!(
+            "{} [{}] threads={}: {:.3}s wall, {:.0} events/s, {:.0} ads/s (hash {:016x})",
+            m.label,
+            m.workload,
+            m.threads,
+            m.wall_s,
+            m.events_per_sec,
+            m.ads_placed_per_sec,
+            m.report_hash
+        );
+        measurements.push(m);
+    }
+    if let Err(e) = append_to_file(&out, &measurements) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("recorded {} entries into {out}", measurements.len());
+    ExitCode::SUCCESS
+}

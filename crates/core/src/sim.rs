@@ -1,10 +1,10 @@
 //! The end-to-end discrete-event simulation.
 
-use adpf_auction::{CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer};
-use adpf_desim::{EventQueue, SimDuration, SimTime};
+use adpf_auction::{AdId, CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer};
+use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime};
 use adpf_energy::{EnergyBreakdown, Radio};
-use adpf_overbooking::availability::{display_probability_bursty, ClientAvailability};
-use adpf_overbooking::planner::ReplicationPlanner;
+use adpf_overbooking::availability::{AvailabilityCache, ClientAvailability};
+use adpf_overbooking::planner::{ReplicationPlanner, PLAN_INLINE};
 use adpf_overbooking::reconcile::ReplicaTracker;
 use adpf_traces::{AdSlot, Trace};
 use rand::rngs::StdRng;
@@ -73,6 +73,29 @@ pub struct Simulator {
     /// Randomness for failure injection (sync dropout).
     fault_rng: StdRng,
     syncs_dropped: u64,
+    /// Memoized bursty-availability evaluator (exact, keyed on lambda
+    /// bits) shared by every `place_ad` call.
+    avail: AvailabilityCache,
+    /// Monotone counter bumped at each `sync_body`; versions the
+    /// per-client `expected_rate` memo below.
+    sync_epoch: u64,
+    /// `lambda_cache[j]` is valid iff `lambda_epoch[j] == sync_epoch`.
+    /// Within one sync every candidate's predictor state, `next_sync`,
+    /// and the sale deadline are frozen, so a client's expected rate is
+    /// identical across the ads sold at that sync — computing it once
+    /// per client per sync is exact, not approximate.
+    lambda_epoch: Vec<u64>,
+    lambda_cache: Vec<f64>,
+    // Scratch buffers reused across syncs so the hot path never
+    // allocates: each holds the retained capacity of whatever client
+    // vector it was last swapped with.
+    scratch_slot_times: Vec<SimTime>,
+    scratch_outbox: Vec<CachedAd>,
+    scratch_reports: Vec<(AdId, SimTime)>,
+    scratch_cands: Vec<ClientAvailability>,
+    /// `(lambda, mean_session_slots)` per pool entry, aligned with
+    /// `scratch_cands` — the inputs needed to re-score an entry.
+    scratch_meta: Vec<(f64, f64)>,
     // Counters.
     impressions: u64,
     cache_hits: u64,
@@ -149,8 +172,20 @@ impl Simulator {
 
         let planner = config.planner.build();
         let fault_rng = StdRng::seed_from_u64(stream_seed ^ 0xd20_0ff);
+        let avail = AvailabilityCache::new(config.availability_dispersion);
+        let n_clients = clients.len();
+        let candidate_pool = config.candidate_pool;
         Self {
             config,
+            avail,
+            sync_epoch: 0,
+            lambda_epoch: vec![0; n_clients],
+            lambda_cache: vec![0.0; n_clients],
+            scratch_slot_times: Vec::new(),
+            scratch_outbox: Vec::new(),
+            scratch_reports: Vec::new(),
+            scratch_cands: Vec::with_capacity(candidate_pool),
+            scratch_meta: Vec::with_capacity(candidate_pool),
             clients,
             slots,
             horizon,
@@ -343,11 +378,23 @@ impl Simulator {
     /// (piggybacking).
     fn sync_body(&mut self, ci: usize, now: SimTime, rt_fetch: Option<u8>) {
         let c = ci as u32;
+        // New epoch: every per-client expected-rate memo entry from the
+        // previous sync is now stale.
+        self.sync_epoch += 1;
 
         // 1. Update the server-side demand model with the observed period.
-        let slot_times = std::mem::take(&mut self.clients[ci].slot_times);
+        //    Swapping with the scratch buffer (instead of `mem::take`)
+        //    hands the client back a vector with retained capacity, so
+        //    next interval's slot pushes don't regrow from zero.
+        std::mem::swap(
+            &mut self.scratch_slot_times,
+            &mut self.clients[ci].slot_times,
+        );
         let last = self.clients[ci].last_sync;
-        self.clients[ci].predictor.observe(last, now, &slot_times);
+        self.clients[ci]
+            .predictor
+            .observe(last, now, &self.scratch_slot_times);
+        self.scratch_slot_times.clear();
         self.clients[ci].purge_expired(now);
 
         // 2. Sell the predicted slots of the next interval and place them.
@@ -361,9 +408,17 @@ impl Simulator {
         let want = (predicted * self.config.sell_margin).round() as i64;
         let to_sell = (((want - have).max(0)) as u32).min(MAX_SELL_PER_SYNC);
         let mut delivered_primaries = 0u64;
+        // All ads sold at this sync share one deadline (`now`, config,
+        // and horizon are fixed for the duration), and therefore one
+        // replica-candidate pool. The pool is evaluated once, lazily, at
+        // the first sale that needs replicas; later sales reuse it, with
+        // only the entries whose queue depth changed re-scored through
+        // the availability cache (which extends the memoized Poisson
+        // series instead of recomputing it).
+        let deadline = (now + self.config.deadline).min(self.horizon);
+        let mut pool_built = false;
         for _ in 0..to_sell {
             // Don't sell display windows that extend beyond the trace.
-            let deadline = (now + self.config.deadline).min(self.horizon);
             if deadline <= now {
                 break;
             }
@@ -372,7 +427,7 @@ impl Simulator {
                 break; // Exchange demand exhausted.
             };
             self.ledger.record_sale(&sold);
-            let holders = self.place_ad(ci, now, deadline);
+            let holders = self.place_ad(ci, now, deadline, &mut pool_built);
             self.replicas_assigned += holders.len() as u64 - 1;
             self.tracker.register(sold.id.0, &holders);
             // The first holder in placement order is the primary copy; the
@@ -392,6 +447,10 @@ impl Simulator {
                     self.clients[h as usize].outbox.push(cached);
                 }
             }
+            // Re-score the pool entries of the replica holders just
+            // loaded: their queue depth grew, so their availability for
+            // the *next* ad of this sync shrank.
+            self.refresh_pool_probs(&holders);
         }
 
         // 3. Serve the current slot in real time if this sync rides a
@@ -437,30 +496,39 @@ impl Simulator {
         //    outstanding replicas, and ship the impression reports.
         let cancellations = self.tracker.take_cancellations(c);
         self.clients[ci].cancel(&cancellations);
-        let outbox = std::mem::take(&mut self.clients[ci].outbox);
+        std::mem::swap(&mut self.scratch_outbox, &mut self.clients[ci].outbox);
         let mut delivered_replicas = 0u64;
-        for ad in outbox {
+        for i in 0..self.scratch_outbox.len() {
+            let ad = self.scratch_outbox[i];
             if ad.deadline >= now {
                 self.clients[ci].cache_insert(ad);
                 delivered_replicas += 1;
             }
         }
-        let reports = std::mem::take(&mut self.clients[ci].pending_reports);
-        let report_count = reports.len() as u64;
-        for &(ad, t) in &reports {
+        self.scratch_outbox.clear();
+        std::mem::swap(
+            &mut self.scratch_reports,
+            &mut self.clients[ci].pending_reports,
+        );
+        let report_count = self.scratch_reports.len() as u64;
+        for i in 0..self.scratch_reports.len() {
+            let (ad, t) = self.scratch_reports[i];
             let disposition = self.tracker.record_display(ad.0, c);
             self.ledger.record_impression(ad, t);
             if disposition == adpf_overbooking::DisplayDisposition::First {
                 // Every holder's queue shrinks: the reporter consumed the
-                // ad, the others will drop it on cancellation.
+                // ad, the others will drop it on cancellation. Borrowing
+                // `tracker` and mutating `clients` are disjoint field
+                // accesses, so no defensive clone of the holder list.
                 if let Some(holders) = self.tracker.holders(ad.0) {
-                    for &h in holders.to_vec().iter() {
+                    for &h in holders {
                         let q = &mut self.clients[h as usize].queued;
                         *q = q.saturating_sub(1);
                     }
                 }
             }
         }
+        self.scratch_reports.clear();
 
         // 6. Pay for the batched transfer.
         let delivered = delivered_primaries + delivered_replicas;
@@ -486,17 +554,21 @@ impl Simulator {
     /// actually display: from the later of their next sync and the opening
     /// of the replica window, to the deadline, discounted by the ads
     /// already queued on them.
-    fn place_ad(&mut self, origin: usize, now: SimTime, deadline: SimTime) -> Vec<u32> {
-        let lambda = self.clients[origin]
-            .predictor
-            .expected_rate(now, deadline.saturating_since(now));
-        let p_origin = display_probability_bursty(
-            lambda,
-            self.clients[origin].queued,
-            self.clients[origin].predictor.mean_session_slots(),
-            self.config.availability_dispersion,
-        );
-        let mut holders = vec![origin as u32];
+    fn place_ad(
+        &mut self,
+        origin: usize,
+        now: SimTime,
+        deadline: SimTime,
+        pool_built: &mut bool,
+    ) -> InlineVec<u32, { PLAN_INLINE + 1 }> {
+        let lambda = self.cached_rate(origin, now, deadline);
+        let queued = self.clients[origin].queued;
+        let mean_session = self.clients[origin].predictor.mean_session_slots();
+        let p_origin = self
+            .avail
+            .display_probability_bursty(lambda, queued, mean_session);
+        let mut holders: InlineVec<u32, { PLAN_INLINE + 1 }> = InlineVec::new();
+        holders.push(origin as u32);
         if p_origin >= self.config.sla_target {
             return holders;
         }
@@ -506,47 +578,98 @@ impl Simulator {
             return holders;
         }
 
-        let n = self.clients.len();
-        let mut candidates = Vec::with_capacity(self.config.candidate_pool);
-        if n > 1 {
-            let want = (self.config.candidate_pool - 1).min(n - 1);
-            let mut taken = 0;
-            while taken < want {
-                self.cand_cursor = (self.cand_cursor + 1) % n;
-                let j = self.cand_cursor;
-                if j == origin {
-                    continue;
-                }
-                taken += 1;
-                // A replica can only display inside the final
-                // `replica_window` of the ad's life, and only after the
-                // holder has received it at a sync.
-                let window_open = deadline.saturating_sub(self.config.replica_window).max(now);
-                let start = self.clients[j].next_sync.max(window_open);
-                if start >= deadline {
-                    continue; // Cannot receive the ad in time.
-                }
-                let lambda_j = self.clients[j]
-                    .predictor
-                    .expected_rate(start, deadline.saturating_since(start));
-                candidates.push(ClientAvailability {
-                    client: j as u32,
-                    prob: display_probability_bursty(
-                        lambda_j,
-                        self.clients[j].queued,
-                        self.clients[j].predictor.mean_session_slots(),
-                        self.config.availability_dispersion,
-                    ),
-                });
-            }
+        if !*pool_built {
+            self.build_candidate_pool(origin, now, deadline);
+            *pool_built = true;
         }
         let plan = self.planner.plan(
-            &candidates,
+            &self.scratch_cands,
             residual_target,
             self.config.max_replicas.saturating_sub(1),
         );
-        holders.extend(plan.clients);
+        holders.extend_from_slice(&plan.clients);
         holders
+    }
+
+    /// Evaluates the replica-candidate pool for one selling sync: the
+    /// next `candidate_pool - 1` clients under the rotating cursor, each
+    /// scored over the window in which it could actually display. Fills
+    /// `scratch_cands` (planner input) and the aligned `scratch_meta`
+    /// (the per-candidate rate inputs needed to re-score an entry when
+    /// its queue depth changes mid-sync).
+    fn build_candidate_pool(&mut self, origin: usize, now: SimTime, deadline: SimTime) {
+        self.scratch_cands.clear();
+        self.scratch_meta.clear();
+        let n = self.clients.len();
+        if n <= 1 {
+            return;
+        }
+        let want = (self.config.candidate_pool - 1).min(n - 1);
+        let mut taken = 0;
+        // A replica can only display inside the final `replica_window`
+        // of the ad's life, and only after the holder has received it at
+        // a sync. Loop-invariant: hoisted out of the candidate scan.
+        let window_open = deadline.saturating_sub(self.config.replica_window).max(now);
+        while taken < want {
+            self.cand_cursor = (self.cand_cursor + 1) % n;
+            let j = self.cand_cursor;
+            if j == origin {
+                continue;
+            }
+            taken += 1;
+            let start = self.clients[j].next_sync.max(window_open);
+            if start >= deadline {
+                continue; // Cannot receive the ad in time; skip the
+                          // rate evaluation entirely.
+            }
+            let lambda_j = self.cached_rate(j, start, deadline);
+            let queued_j = self.clients[j].queued;
+            let mean_session_j = self.clients[j].predictor.mean_session_slots();
+            let prob = self
+                .avail
+                .display_probability_bursty(lambda_j, queued_j, mean_session_j);
+            self.scratch_cands.push(ClientAvailability {
+                client: j as u32,
+                prob,
+            });
+            self.scratch_meta.push((lambda_j, mean_session_j));
+        }
+    }
+
+    /// Re-scores the pool entries of freshly chosen replica holders
+    /// (their `queued` just grew). The rate inputs come from
+    /// `scratch_meta`; only the Poisson tail is re-evaluated, and the
+    /// availability cache serves it from the already-memoized series.
+    fn refresh_pool_probs(&mut self, holders: &[u32]) {
+        // holders[0] is the origin, which is never in the pool.
+        for &h in holders.iter().skip(1) {
+            if let Some(pos) = self.scratch_cands.iter().position(|c| c.client == h) {
+                let (lambda, mean_session) = self.scratch_meta[pos];
+                let queued = self.clients[h as usize].queued;
+                self.scratch_cands[pos].prob =
+                    self.avail
+                        .display_probability_bursty(lambda, queued, mean_session);
+            }
+        }
+    }
+
+    /// `expected_rate` for client `j`, memoized per sync epoch.
+    ///
+    /// Valid because nothing a rate depends on — the client's predictor
+    /// state, its `next_sync`, the sale deadline — changes between the
+    /// ads sold at one sync (only `queued` moves, which feeds the
+    /// availability cache separately). The origin and candidates never
+    /// collide on an entry: `place_ad` skips `j == origin`.
+    fn cached_rate(&mut self, j: usize, start: SimTime, deadline: SimTime) -> f64 {
+        if self.lambda_epoch[j] == self.sync_epoch {
+            return self.lambda_cache[j];
+        }
+        let rate = self.clients[j]
+            .predictor
+            .expected_rate(start, deadline.saturating_since(start));
+        self.lambda_epoch[j] = self.sync_epoch;
+        self.lambda_cache[j] = rate;
+        rate
     }
 
     fn on_expiry_sweep(&mut self, now: SimTime) {
@@ -567,7 +690,9 @@ impl Simulator {
             self.exchange.refund(campaign, price);
             if !self.tracker.is_displayed(ad.0) {
                 if let Some(holders) = self.tracker.holders(ad.0) {
-                    for &h in holders.to_vec().iter() {
+                    // Disjoint field borrows: read `tracker`, write
+                    // `clients` — no clone needed.
+                    for &h in holders {
                         let q = &mut self.clients[h as usize].queued;
                         *q = q.saturating_sub(1);
                     }

@@ -8,9 +8,13 @@
 //!   duration type ([`SimDuration`]) with calendar helpers (hour of day, day
 //!   index) used by diurnal models.
 //! - [`queue`]: an [`EventQueue`] ordered by time with FIFO tie-breaking, so
-//!   two runs with the same inputs produce byte-identical outputs.
+//!   two runs with the same inputs produce byte-identical outputs. The
+//!   implementation is a two-lane calendar queue (near-future ring buckets
+//!   plus a far-event heap) sized for per-second slot cadences.
 //! - [`engine`]: a small actor-style driver ([`Simulation`]) for components
 //!   that want an inversion-of-control event loop.
+//! - [`smallvec`]: an [`InlineVec`] small-vector used by hot simulator
+//!   loops to build short lists without heap allocation.
 //!
 //! # Examples
 //!
@@ -27,8 +31,10 @@
 
 pub mod engine;
 pub mod queue;
+pub mod smallvec;
 pub mod time;
 
 pub use engine::{Actor, Scheduler, Simulation};
 pub use queue::EventQueue;
+pub use smallvec::InlineVec;
 pub use time::{SimDuration, SimTime};

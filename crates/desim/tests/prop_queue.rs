@@ -1,0 +1,118 @@
+//! Differential property tests for the calendar [`EventQueue`]: replay
+//! random push/pop schedules against a plain reference implementation
+//! (the `BinaryHeap` semantics the queue replaced) and demand identical
+//! behaviour — pops, peeks, and lengths — at every step.
+
+use adpf_desim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+/// Reference queue with the original plain-heap semantics: pop the
+/// minimum `(time, seq)`. O(n) per op, which is fine at test sizes.
+#[derive(Default)]
+struct RefQueue {
+    entries: Vec<(u64, u64, u64)>, // (time_ms, seq, payload)
+    seq: u64,
+}
+
+impl RefQueue {
+    fn push(&mut self, time_ms: u64, payload: u64) {
+        self.entries.push((time_ms, self.seq, payload));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, s, _))| (t, s))
+            .map(|(i, _)| i)?;
+        let (t, _, p) = self.entries.swap_remove(i);
+        Some((t, p))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .map(|&(t, s, _)| (t, s))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Turns an op code and raw value into a scheduled time that exercises
+/// every lane: sub-second clusters (one bucket), second-scale spreads
+/// (across buckets), hour-scale times (far heap), and u64-extreme times.
+fn op_time(kind: u8, v: u64, last_time: u64) -> u64 {
+    match kind {
+        0 => v % 1_000,             // Dense near cluster.
+        1 => (v % 10_000) * 977,    // Across near buckets.
+        2 => (v % 100) * 3_600_000, // Hours out: far heap.
+        3 => last_time,             // Exact tie with a prior push.
+        _ => u64::MAX - (v % 4),    // Degenerate extreme times.
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of pushes (at near, far, tied, and extreme
+    /// times) and pops matches the reference implementation exactly.
+    #[test]
+    fn calendar_queue_matches_reference_on_random_schedules(
+        ops in prop::collection::vec((0u8..8, any::<u64>()), 1..300),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r = RefQueue::default();
+        let mut last_time = 0u64;
+        let mut payload = 0u64;
+        for (kind, v) in ops {
+            if kind < 6 {
+                // Push ops (kinds 0-5; 5 reuses the extreme-time rule).
+                let t = op_time(kind.min(4), v, last_time);
+                last_time = t;
+                q.push(SimTime::from_millis(t), payload);
+                r.push(t, payload);
+                payload += 1;
+            } else {
+                // Pop ops.
+                let got = q.pop().map(|(t, p)| (t.as_millis(), p));
+                prop_assert_eq!(got, r.pop());
+            }
+            prop_assert_eq!(q.len(), r.len());
+            prop_assert_eq!(q.peek_time().map(|t| t.as_millis()), r.peek_time());
+        }
+        // Drain both to the end: full order must agree.
+        loop {
+            let got = q.pop().map(|(t, p)| (t.as_millis(), p));
+            let want = r.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Bulk pushes then a full drain pop in exactly `(time, seq)` order.
+    #[test]
+    fn full_drain_is_sorted_by_time_then_seq(
+        times in prop::collection::vec(0u64..5_000_000, 1..200),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().map(|&t| t).zip(0..).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_millis(), i));
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -2,14 +2,23 @@
 
 use crate::availability::ClientAvailability;
 use crate::estimator::{expected_duplicates, sla_violation_prob};
+use adpf_desim::InlineVec;
+
+/// Inline capacity for per-ad holder lists: replica factors above 8 never
+/// occur in practice (config `max_replicas` defaults are small), so plans
+/// are allocation-free on the hot path and spill gracefully otherwise.
+pub const PLAN_INLINE: usize = 8;
+
+/// Inline capacity for sorted candidate scratch inside planners.
+const CANDIDATE_INLINE: usize = 64;
 
 /// A chosen replica set for one pre-sold ad.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Chosen client ids, in placement order.
-    pub clients: Vec<u32>,
+    pub clients: InlineVec<u32, PLAN_INLINE>,
     /// Per-chosen-client display probabilities (aligned with `clients`).
-    pub probs: Vec<f64>,
+    pub probs: InlineVec<f64, PLAN_INLINE>,
     /// `P(shown before deadline)` for this set.
     pub success_prob: f64,
     /// Expected duplicate displays without cancellation.
@@ -17,8 +26,13 @@ pub struct Plan {
 }
 
 impl Plan {
-    fn from_choice(chosen: Vec<(u32, f64)>) -> Self {
-        let (clients, probs): (Vec<u32>, Vec<f64>) = chosen.into_iter().unzip();
+    fn from_choice(chosen: &[(u32, f64)]) -> Self {
+        let mut clients = InlineVec::new();
+        let mut probs = InlineVec::new();
+        for &(c, p) in chosen {
+            clients.push(c);
+            probs.push(p);
+        }
         let success_prob = 1.0 - sla_violation_prob(&probs);
         let expected_duplicates = expected_duplicates(&probs);
         Self {
@@ -32,8 +46,8 @@ impl Plan {
     /// An empty plan (the ad is left unplaced).
     pub fn empty() -> Self {
         Self {
-            clients: Vec::new(),
-            probs: Vec::new(),
+            clients: InlineVec::new(),
+            probs: InlineVec::new(),
             success_prob: 0.0,
             expected_duplicates: 0.0,
         }
@@ -43,6 +57,30 @@ impl Plan {
     pub fn replicas(&self) -> usize {
         self.clients.len()
     }
+}
+
+/// Positive-probability candidates sorted by decreasing availability,
+/// ties broken by ascending client id.
+///
+/// Uses `sort_unstable_by` (no allocation, unlike the stable sort's merge
+/// buffer): the comparator is total over candidate sets — client ids are
+/// unique — so the unstable sort yields the same order a stable sort
+/// would, preserving planner determinism.
+fn sorted_by_availability(
+    candidates: &[ClientAvailability],
+) -> InlineVec<ClientAvailability, CANDIDATE_INLINE> {
+    let mut sorted: InlineVec<ClientAvailability, CANDIDATE_INLINE> = candidates
+        .iter()
+        .filter(|c| c.prob > 0.0)
+        .copied()
+        .collect();
+    sorted.sort_unstable_by(|a, b| {
+        b.prob
+            .partial_cmp(&a.prob)
+            .expect("probabilities are finite")
+            .then(a.client.cmp(&b.client))
+    });
+    sorted
 }
 
 /// A policy that picks replica holders for one ad.
@@ -77,17 +115,10 @@ impl ReplicationPlanner for GreedyPlanner {
         max_replicas: usize,
     ) -> Plan {
         let target = sla_target.clamp(0.0, 1.0);
-        let mut sorted: Vec<&ClientAvailability> =
-            candidates.iter().filter(|c| c.prob > 0.0).collect();
-        sorted.sort_by(|a, b| {
-            b.prob
-                .partial_cmp(&a.prob)
-                .expect("probabilities are finite")
-                .then(a.client.cmp(&b.client))
-        });
-        let mut chosen = Vec::new();
+        let sorted = sorted_by_availability(candidates);
+        let mut chosen: InlineVec<(u32, f64), PLAN_INLINE> = InlineVec::new();
         let mut violation = 1.0;
-        for c in sorted {
+        for c in &sorted {
             if chosen.len() >= max_replicas {
                 break;
             }
@@ -97,7 +128,7 @@ impl ReplicationPlanner for GreedyPlanner {
             chosen.push((c.client, c.prob));
             violation *= 1.0 - c.prob;
         }
-        Plan::from_choice(chosen)
+        Plan::from_choice(&chosen)
     }
 
     fn name(&self) -> &'static str {
@@ -120,22 +151,14 @@ impl ReplicationPlanner for FixedFactorPlanner {
         _sla_target: f64,
         max_replicas: usize,
     ) -> Plan {
-        let mut sorted: Vec<&ClientAvailability> =
-            candidates.iter().filter(|c| c.prob > 0.0).collect();
-        sorted.sort_by(|a, b| {
-            b.prob
-                .partial_cmp(&a.prob)
-                .expect("probabilities are finite")
-                .then(a.client.cmp(&b.client))
-        });
+        let sorted = sorted_by_availability(candidates);
         let take = self.k.min(max_replicas);
-        Plan::from_choice(
-            sorted
-                .iter()
-                .take(take)
-                .map(|c| (c.client, c.prob))
-                .collect(),
-        )
+        let chosen: InlineVec<(u32, f64), PLAN_INLINE> = sorted
+            .iter()
+            .take(take)
+            .map(|c| (c.client, c.prob))
+            .collect();
+        Plan::from_choice(&chosen)
     }
 
     fn name(&self) -> &'static str {

@@ -10,6 +10,9 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+use crate::planner::PLAN_INLINE;
+use adpf_desim::InlineVec;
+
 /// Disposition of a reported display.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DisplayDisposition {
@@ -23,7 +26,9 @@ pub enum DisplayDisposition {
 
 #[derive(Debug)]
 struct AdReplicas {
-    holders: Vec<u32>,
+    /// Holder ids stay inline: replica sets are at most
+    /// `max_replicas + 1` clients, comfortably within [`PLAN_INLINE`].
+    holders: InlineVec<u32, PLAN_INLINE>,
     displayed_by: Option<u32>,
 }
 
@@ -46,7 +51,7 @@ impl ReplicaTracker {
         match self.ads.entry(ad) {
             Entry::Vacant(v) => {
                 v.insert(AdReplicas {
-                    holders: holders.to_vec(),
+                    holders: InlineVec::from_slice(holders),
                     displayed_by: None,
                 });
             }

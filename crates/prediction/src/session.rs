@@ -1,7 +1,9 @@
 //! Session-aware demand prediction.
 
+use std::collections::VecDeque;
+
 use adpf_desim::{SimDuration, SimTime};
-use adpf_stats::summary::quantile;
+use adpf_stats::summary::quantile_sorted;
 use adpf_stats::Welford;
 
 use crate::predictor::SlotPredictor;
@@ -30,8 +32,13 @@ pub struct SessionAwarePredictor {
     session_gap: SimDuration,
     /// Quantile of the idle rate history used for speculative selling.
     idle_q: f64,
-    /// Per-period demand rates (slots per hour), bounded history.
-    rates: Vec<f64>,
+    /// Per-period demand rates (slots per hour), bounded history in
+    /// observation order (front = oldest).
+    rates: VecDeque<f64>,
+    /// The same rates kept ascending, maintained incrementally by binary
+    /// insertion/removal: quantile lookups are then O(1) per observation
+    /// instead of a full sort.
+    sorted_rates: Vec<f64>,
     /// Cached `idle_q`-quantile of `rates`; recomputed on observation so
     /// the hot `predict` path stays O(1).
     cached_idle_rate: f64,
@@ -57,7 +64,8 @@ impl SessionAwarePredictor {
         Self {
             session_gap,
             idle_q: idle_q.clamp(0.0, 1.0),
-            rates: Vec::new(),
+            rates: VecDeque::new(),
+            sorted_rates: Vec::new(),
             cached_idle_rate: 0.0,
             cached_mean_rate: 0.0,
             tod: TimeOfDayPredictor::new(),
@@ -93,10 +101,16 @@ impl SlotPredictor for SessionAwarePredictor {
         let hours = period_end.saturating_since(period_start).as_hours_f64();
         if hours > 0.0 {
             if self.rates.len() == Self::MAX_HISTORY {
-                self.rates.remove(0);
+                let evicted = self.rates.pop_front().expect("history is non-empty");
+                let at = self.sorted_rates.partition_point(|&x| x < evicted);
+                debug_assert_eq!(self.sorted_rates[at].to_bits(), evicted.to_bits());
+                self.sorted_rates.remove(at);
             }
-            self.rates.push(slot_times.len() as f64 / hours);
-            self.cached_idle_rate = quantile(&self.rates, self.idle_q);
+            let rate = slot_times.len() as f64 / hours;
+            self.rates.push_back(rate);
+            let at = self.sorted_rates.partition_point(|&x| x < rate);
+            self.sorted_rates.insert(at, rate);
+            self.cached_idle_rate = quantile_sorted(&self.sorted_rates, self.idle_q);
             self.cached_mean_rate = self.rates.iter().sum::<f64>() / self.rates.len() as f64;
         }
         for &t in slot_times {
