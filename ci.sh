@@ -23,4 +23,5 @@ fi
 cargo build --release --workspace
 cargo test -q --workspace --release
 cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
 perf_smoke

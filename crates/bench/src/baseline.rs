@@ -189,6 +189,18 @@ pub fn report_hash(r: &SimReport) -> u64 {
     h.write_u64(r.syncs_skipped);
     h.write_u64(r.syncs_dropped);
     h.write_u64(r.replicas_assigned);
+    // Netem counters fold in only when any is nonzero: netem-off runs
+    // keep the exact pre-netem byte stream, so recorded golden hashes
+    // (e.g. the ci.sh smoke golden) stay valid.
+    if r.netem != adpf_core::NetemCounters::default() {
+        h.write_u64(r.netem.sync_failures);
+        h.write_u64(r.netem.retries_scheduled);
+        h.write_u64(r.netem.retries_succeeded);
+        h.write_u64(r.netem.syncs_abandoned);
+        h.write_u64(r.netem.realtime_failures);
+        h.write_u64(r.netem.ads_rescued);
+        h.write_u64(r.netem.rescues_unplaced);
+    }
     h.write_u64(r.per_user_energy_j.len() as u64);
     for &e in &r.per_user_energy_j {
         h.write_f64(e);

@@ -32,7 +32,8 @@ fn usage() {
          \x20                [--interval-h N] [--deadline-h N] [--sla P]\n\
          \x20                [--predictor session|day-hour|tod|markov|mean|oracle|zero]\n\
          \x20                [--planner greedy|fixed-K|none]\n\
-         \x20                [--radio 3g|lte|wifi] [--seed N] [--threads N]"
+         \x20                [--radio 3g|lte|wifi] [--seed N] [--threads N]\n\
+         \x20                [--netem off|flaky|degraded|blackout] [--netem-retries N]"
     );
 }
 

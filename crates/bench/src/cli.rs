@@ -4,6 +4,7 @@
 use adpf_core::{DeliveryMode, PlannerKind, SystemConfig};
 use adpf_desim::SimDuration;
 use adpf_energy::profiles;
+use adpf_netem::{NetemConfig, RetryPolicy};
 use adpf_prediction::PredictorKind;
 
 /// Parsed `simulate` options, with defaults applied.
@@ -31,6 +32,10 @@ pub struct SimulateOpts {
     pub seed: u64,
     /// Worker threads for the sharded simulator.
     pub threads: usize,
+    /// Network emulation preset (`off`, `flaky`, `degraded`, `blackout`).
+    pub netem: String,
+    /// Override of the netem retry budget (`None` keeps the preset's).
+    pub netem_retries: Option<u32>,
 }
 
 impl Default for SimulateOpts {
@@ -47,6 +52,8 @@ impl Default for SimulateOpts {
             radio: "3g".into(),
             seed: 1,
             threads: 1,
+            netem: "off".into(),
+            netem_retries: None,
         }
     }
 }
@@ -106,6 +113,10 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             "--radio" => o.radio = value.clone(),
             "--seed" => o.seed = value.parse().map_err(|_| parse_err("--seed"))?,
             "--threads" => o.threads = value.parse().map_err(|_| parse_err("--threads"))?,
+            "--netem" => o.netem = value.clone(),
+            "--netem-retries" => {
+                o.netem_retries = Some(value.parse().map_err(|_| parse_err("--netem-retries"))?)
+            }
             other => return Err(invalid(format!("unknown flag `{other}`"))),
         }
         i += 2;
@@ -124,7 +135,23 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
     if !matches!(o.radio.as_str(), "3g" | "lte" | "wifi") {
         return Err(invalid(format!("unknown radio `{}`", o.radio)));
     }
+    parse_netem(&o.netem).map_err(CliError::Invalid)?;
     Ok(o)
+}
+
+/// Resolves a netem preset name.
+pub fn parse_netem(name: &str) -> Result<NetemConfig, String> {
+    Ok(match name {
+        "off" => NetemConfig::disabled(),
+        "flaky" => NetemConfig::flaky_cellular(),
+        "degraded" => NetemConfig::degraded(),
+        // A correlated-failure scenario: flaky conditions plus a 6-hour
+        // blackout of half the population starting on day 2.
+        "blackout" => {
+            NetemConfig::flaky_cellular().with_outage(48, SimDuration::from_hours(6), 0.5)
+        }
+        other => return Err(format!("unknown netem preset `{other}`")),
+    })
 }
 
 /// Resolves a predictor name.
@@ -171,6 +198,16 @@ pub fn build_config(o: &SimulateOpts, mode: DeliveryMode) -> Result<SystemConfig
         "wifi" => profiles::wifi(),
         other => return Err(format!("unknown radio `{other}`")),
     };
+    cfg.netem = parse_netem(&o.netem)?;
+    if let Some(n) = o.netem_retries {
+        if !cfg.netem.enabled {
+            return Err("--netem-retries requires a --netem preset other than `off`".into());
+        }
+        cfg.netem.retry = RetryPolicy {
+            max_retries: n,
+            ..cfg.netem.retry
+        };
+    }
     cfg.validate()?;
     Ok(cfg)
 }
@@ -245,6 +282,33 @@ mod tests {
         assert_eq!(cfg.sla_target, 0.9);
         assert_eq!(cfg.planner, PlannerKind::NoReplication);
         assert_eq!(cfg.radio.name, "LTE");
+    }
+
+    #[test]
+    fn netem_flags_parse_and_reach_the_config() {
+        let o = parse_simulate_args(&argv("--netem flaky --netem-retries 5")).unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(cfg.netem.enabled);
+        assert_eq!(cfg.netem.name, "flaky");
+        assert_eq!(cfg.netem.retry.max_retries, 5);
+
+        let blackout = parse_simulate_args(&argv("--netem blackout")).unwrap();
+        let cfg = build_config(&blackout, DeliveryMode::Prefetch).unwrap();
+        assert_eq!(cfg.netem.outages.len(), 1);
+    }
+
+    #[test]
+    fn netem_defaults_off_and_bad_values_are_rejected() {
+        let o = parse_simulate_args(&[]).unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(!cfg.netem.enabled);
+
+        assert!(parse_simulate_args(&argv("--netem lossy")).is_err());
+        assert!(parse_simulate_args(&argv("--netem-retries many")).is_err());
+        // Retries without an active preset would silently do nothing;
+        // reject instead.
+        let o = parse_simulate_args(&argv("--netem-retries 2")).unwrap();
+        assert!(build_config(&o, DeliveryMode::Prefetch).is_err());
     }
 
     #[test]

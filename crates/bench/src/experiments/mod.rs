@@ -2,6 +2,7 @@
 
 pub mod mechanisms;
 pub mod motivation;
+pub mod netem;
 pub mod prediction;
 pub mod scaling;
 pub mod system;
@@ -14,7 +15,7 @@ use crate::table::Table;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15",
+        "e15", "e16",
     ]
 }
 
@@ -49,6 +50,7 @@ pub fn run_experiment_threads(id: &str, scale: Scale, threads: usize) -> Option<
         "e13" => Some(vec![system::e13_planner_ablation(scale)]),
         "e14" => Some(scaling::e14_scaling_threads(scale, threads)),
         "e15" => Some(vec![mechanisms::e15_mechanism_ablation(scale)]),
+        "e16" => Some(vec![netem::e16_degraded_network(scale, threads)]),
         _ => None,
     }
 }
@@ -64,6 +66,6 @@ mod tests {
 
     #[test]
     fn ids_are_complete() {
-        assert_eq!(all_ids().len(), 15);
+        assert_eq!(all_ids().len(), 16);
     }
 }

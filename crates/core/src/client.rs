@@ -50,6 +50,9 @@ pub struct ClientState {
     /// Server-side estimate of undisplayed ads assigned to this client
     /// (cache + outbox), used to discount availability.
     pub queued: u32,
+    /// Whether a netem retry event is outstanding for this client. Any
+    /// completed sync clears it, turning the stale retry into a no-op.
+    pub retry_pending: bool,
 }
 
 impl ClientState {
@@ -65,6 +68,7 @@ impl ClientState {
             predictor,
             outbox: Vec::new(),
             queued: 0,
+            retry_pending: false,
         }
     }
 

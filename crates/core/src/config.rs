@@ -2,6 +2,7 @@
 
 use adpf_desim::SimDuration;
 use adpf_energy::{profiles, RadioProfile};
+use adpf_netem::NetemConfig;
 use adpf_overbooking::planner::{
     FixedFactorPlanner, GreedyPlanner, NoReplicationPlanner, ReplicationPlanner,
 };
@@ -131,6 +132,13 @@ pub struct SystemConfig {
     /// the user is demonstrably online when a fallback fetch happens.
     /// Failure-injection knob; `0.0` disables.
     pub sync_dropout: f64,
+    /// Network-condition emulation: per-client link-state machines,
+    /// outage windows, and the client retry policy. Disabled by default —
+    /// the ideal always-on network the paper assumes. When disabled the
+    /// simulator takes exactly the legacy code path (no extra RNG draws,
+    /// no extra energy events), so reports are bit-identical to
+    /// netem-less builds.
+    pub netem: NetemConfig,
     /// Master seed (exchange randomness, candidate sampling).
     pub seed: u64,
     /// RNG stream selector for sharded runs. Stream `0` (the default)
@@ -175,6 +183,7 @@ impl SystemConfig {
             contextual_premium: 1.5,
             advance_discount: 1.0,
             sync_dropout: 0.0,
+            netem: NetemConfig::disabled(),
             seed,
             rng_stream: 0,
             budget_fraction: 1.0,
@@ -239,6 +248,7 @@ impl SystemConfig {
         if !(0.0..=1.0).contains(&self.sync_dropout) {
             return Err(format!("sync_dropout {} outside [0, 1]", self.sync_dropout));
         }
+        self.netem.validate().map_err(|e| format!("netem: {e}"))?;
         if !(self.budget_fraction > 0.0 && self.budget_fraction <= 1.0) {
             return Err(format!(
                 "budget_fraction {} outside (0, 1]",
@@ -256,7 +266,7 @@ impl SystemConfig {
 
     /// One-line description for report headers.
     pub fn describe(&self) -> String {
-        match self.mode {
+        let mut d = match self.mode {
             DeliveryMode::RealTime => format!("realtime radio={}", self.radio.name),
             DeliveryMode::Prefetch => format!(
                 "prefetch interval={} deadline={} predictor={} planner={} sla={} radio={}",
@@ -267,7 +277,16 @@ impl SystemConfig {
                 self.sla_target,
                 self.radio.name
             ),
+        };
+        // Netem-off descriptions stay byte-identical to the pre-netem
+        // format so existing golden report hashes remain valid.
+        if self.netem.enabled {
+            d.push_str(&format!(
+                " netem={} retries={}",
+                self.netem.name, self.netem.retry.max_retries
+            ));
         }
+        d
     }
 }
 
@@ -321,6 +340,22 @@ mod tests {
         sharded.rng_stream = 3;
         sharded.budget_fraction = 0.25;
         assert_eq!(sharded.describe(), c.describe());
+    }
+
+    #[test]
+    fn netem_config_feeds_validation_and_describe() {
+        let mut c = SystemConfig::prefetch_default(1);
+        let plain = c.describe();
+        assert!(!plain.contains("netem"), "netem-off header stays legacy");
+
+        c.netem = NetemConfig::flaky_cellular();
+        assert_eq!(c.validate(), Ok(()));
+        let d = c.describe();
+        assert!(d.contains("netem=flaky"), "header: {d}");
+        assert!(d.starts_with(&plain), "netem only appends: {d}");
+
+        c.netem.profiles[0].failure_prob = 2.0;
+        assert!(c.validate().is_err(), "invalid netem must fail validation");
     }
 
     #[test]

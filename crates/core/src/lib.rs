@@ -43,5 +43,5 @@ pub mod report;
 pub mod sim;
 
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
-pub use report::SimReport;
+pub use report::{NetemCounters, SimReport};
 pub use sim::{Simulator, DEFAULT_SHARDS};

@@ -3,6 +3,42 @@
 use adpf_auction::LedgerTotals;
 use adpf_energy::EnergyBreakdown;
 
+/// Counters produced by network-condition emulation. All zero when netem
+/// is disabled, so legacy (netem-less) reports compare and hash equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetemCounters {
+    /// Sync round trips that failed on the link (before any retry).
+    pub sync_failures: u64,
+    /// Client-side retries placed on the event queue.
+    pub retries_scheduled: u64,
+    /// Retries whose round trip then succeeded.
+    pub retries_succeeded: u64,
+    /// Sync attempts abandoned after exhausting the retry budget.
+    pub syncs_abandoned: u64,
+    /// Real-time fetches (status quo or fallback) lost to the link; the
+    /// slot goes unfilled — there is no later moment to retry into.
+    pub realtime_failures: u64,
+    /// Ads re-replicated by the deadline-rescue path because every
+    /// holder had gone dark.
+    pub ads_rescued: u64,
+    /// Rescue attempts that found no reachable client syncing before the
+    /// ad's deadline.
+    pub rescues_unplaced: u64,
+}
+
+impl NetemCounters {
+    /// Adds another run's counters into this one.
+    pub fn absorb(&mut self, other: &NetemCounters) {
+        self.sync_failures += other.sync_failures;
+        self.retries_scheduled += other.retries_scheduled;
+        self.retries_succeeded += other.retries_succeeded;
+        self.syncs_abandoned += other.syncs_abandoned;
+        self.realtime_failures += other.realtime_failures;
+        self.ads_rescued += other.ads_rescued;
+        self.rescues_unplaced += other.rescues_unplaced;
+    }
+}
+
 /// Everything one simulation run measures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -33,6 +69,8 @@ pub struct SimReport {
     /// Insurance replicas assigned across all sold ads (holders beyond
     /// the primary).
     pub replicas_assigned: u64,
+    /// Network-emulation counters; all zero when netem is disabled.
+    pub netem: NetemCounters,
     /// Per-user total ad radio energy in joules, indexed by user id — the
     /// raw series behind the paper's per-user savings CDF.
     pub per_user_energy_j: Vec<f64>,
@@ -58,6 +96,7 @@ impl SimReport {
             syncs_skipped: 0,
             syncs_dropped: 0,
             replicas_assigned: 0,
+            netem: NetemCounters::default(),
             per_user_energy_j: Vec::new(),
             ledger: LedgerTotals::default(),
         }
@@ -90,6 +129,7 @@ impl SimReport {
         self.syncs_skipped += other.syncs_skipped;
         self.syncs_dropped += other.syncs_dropped;
         self.replicas_assigned += other.replicas_assigned;
+        self.netem.absorb(&other.netem);
         self.per_user_energy_j
             .extend_from_slice(&other.per_user_energy_j);
         self.ledger.merge(&other.ledger);
@@ -183,7 +223,7 @@ impl SimReport {
 
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}\n  users={} days={} slots={} impressions={} (cache {:.1}%, realtime {}, unfilled {})\n  energy={:.1} J (promo {:.1} / xfer {:.1} / tail {:.1}; {:.3} J/impression)\n  syncs={} (+{} skipped)\n  revenue=${:.2} sold={} billed={} expired={} (SLA viol {:.3}%) duplicates={}",
             self.config,
             self.users,
@@ -206,7 +246,21 @@ impl SimReport {
             self.ledger.expired,
             self.sla_violation_rate() * 100.0,
             self.ledger.duplicates,
-        )
+        );
+        if self.netem != NetemCounters::default() {
+            let n = &self.netem;
+            s.push_str(&format!(
+                "\n  netem: sync failures={} retries={}/{} abandoned={} rt failures={} rescued={} (+{} unplaced)",
+                n.sync_failures,
+                n.retries_succeeded,
+                n.retries_scheduled,
+                n.syncs_abandoned,
+                n.realtime_failures,
+                n.ads_rescued,
+                n.rescues_unplaced,
+            ));
+        }
+        s
     }
 }
 
@@ -232,6 +286,7 @@ mod tests {
             syncs_skipped: 0,
             syncs_dropped: 0,
             replicas_assigned: 0,
+            netem: NetemCounters::default(),
             per_user_energy_j: vec![energy_j],
             ledger: LedgerTotals {
                 revenue,
@@ -308,6 +363,25 @@ mod tests {
         assert_eq!(merged.per_user_energy_j, vec![100.0, 40.0]);
         assert!((merged.revenue() - 14.0).abs() < 1e-12);
         assert_eq!(merged.config, a.config, "first config wins");
+    }
+
+    #[test]
+    fn merge_sums_netem_counters_and_summary_gates_on_them() {
+        let mut a = report(1.0, 1.0, 1);
+        assert!(
+            !a.summary().contains("netem"),
+            "all-zero netem stays out of the summary"
+        );
+        a.netem.sync_failures = 3;
+        a.netem.retries_scheduled = 2;
+        let mut b = report(1.0, 1.0, 1);
+        b.netem.sync_failures = 4;
+        b.netem.ads_rescued = 1;
+        a.merge(&b);
+        assert_eq!(a.netem.sync_failures, 7);
+        assert_eq!(a.netem.retries_scheduled, 2);
+        assert_eq!(a.netem.ads_rescued, 1);
+        assert!(a.summary().contains("netem"));
     }
 
     #[test]

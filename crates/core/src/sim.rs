@@ -3,6 +3,7 @@
 use adpf_auction::{AdId, CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer};
 use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime};
 use adpf_energy::{EnergyBreakdown, Radio};
+use adpf_netem::NetworkModel;
 use adpf_overbooking::availability::{AvailabilityCache, ClientAvailability};
 use adpf_overbooking::planner::{ReplicationPlanner, PLAN_INLINE};
 use adpf_overbooking::reconcile::ReplicaTracker;
@@ -12,7 +13,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::client::{CachedAd, ClientState};
 use crate::config::{DeliveryMode, SystemConfig};
-use crate::report::SimReport;
+use crate::report::{NetemCounters, SimReport};
 
 /// Upper bound on ads sold at one sync, guarding against a pathological
 /// predictor output flooding the exchange.
@@ -48,6 +49,9 @@ enum Event {
     Slot(u32),
     /// Client `c` performs its periodic sync.
     Sync(u32),
+    /// Client `c` retries a failed sync; `attempt` counts round trips
+    /// already burnt (netem only).
+    Retry { c: u32, attempt: u32 },
     /// Periodic server-side expiry sweep.
     ExpirySweep,
 }
@@ -73,6 +77,13 @@ pub struct Simulator {
     /// Randomness for failure injection (sync dropout).
     fault_rng: StdRng,
     syncs_dropped: u64,
+    /// Per-client network channels; `None` when netem is disabled, in
+    /// which case every link query short-circuits to "ideal" without
+    /// consuming randomness — the legacy code path, bit for bit.
+    net: Option<NetworkModel>,
+    netem: NetemCounters,
+    /// Scratch for the rescue scan's due-ad list.
+    scratch_due: Vec<(u64, SimTime)>,
     /// Memoized bursty-availability evaluator (exact, keyed on lambda
     /// bits) shared by every `place_ad` call.
     avail: AvailabilityCache,
@@ -175,6 +186,10 @@ impl Simulator {
         let avail = AvailabilityCache::new(config.availability_dispersion);
         let n_clients = clients.len();
         let candidate_pool = config.candidate_pool;
+        let net = config
+            .netem
+            .enabled
+            .then(|| NetworkModel::new(config.netem.clone(), n_clients, stream_seed));
         Self {
             config,
             avail,
@@ -198,6 +213,9 @@ impl Simulator {
             cand_cursor: 0,
             fault_rng,
             syncs_dropped: 0,
+            net,
+            netem: NetemCounters::default(),
+            scratch_due: Vec::new(),
             impressions: 0,
             cache_hits: 0,
             realtime_fetches: 0,
@@ -214,6 +232,7 @@ impl Simulator {
             match event {
                 Event::Slot(idx) => self.on_slot(now, idx),
                 Event::Sync(c) => self.on_sync(now, c),
+                Event::Retry { c, attempt } => self.on_retry(now, c, attempt),
                 Event::ExpirySweep => self.on_expiry_sweep(now),
             }
         }
@@ -303,7 +322,7 @@ impl Simulator {
         let category = Self::app_category(slot.app);
         match self.config.mode {
             DeliveryMode::RealTime => {
-                self.realtime_fetch(ci, now, category);
+                self.gated_realtime_fetch(ci, now, category);
             }
             DeliveryMode::Prefetch => {
                 self.clients[ci].slot_times.push(now);
@@ -315,10 +334,25 @@ impl Simulator {
                 } else if self.config.realtime_fallback {
                     if self.config.piggyback_on_fallback {
                         // The radio must wake for this fetch anyway; ride
-                        // the same wakeup with a full sync.
-                        self.sync_body(ci, now, Some(category));
+                        // the same wakeup with a full sync — if the link
+                        // lets the round trip through at all.
+                        match self.net.as_mut().map(|net| net.attempt(ci, now)) {
+                            Some(v) if !v.ok => {
+                                // The slot is gone; there is no later
+                                // moment to retry a display into. The
+                                // radio still pays for the timeout.
+                                self.netem.realtime_failures += 1;
+                                self.unfilled += 1;
+                                self.clients[ci].radio.stall(now, v.latency);
+                            }
+                            verdict => {
+                                let latency =
+                                    verdict.map(|v| v.latency).unwrap_or(SimDuration::ZERO);
+                                self.sync_body(ci, now, Some(category), latency);
+                            }
+                        }
                     } else {
-                        self.realtime_fetch(ci, now, category);
+                        self.gated_realtime_fetch(ci, now, category);
                     }
                 } else {
                     self.unfilled += 1;
@@ -330,6 +364,27 @@ impl Simulator {
     /// Maps an app to its marketplace category for contextual targeting.
     fn app_category(app: adpf_traces::AppId) -> u8 {
         (app.0 % CampaignCatalog::NUM_CATEGORIES as u16) as u8
+    }
+
+    /// [`Simulator::realtime_fetch`] gated by the network channel: on a
+    /// dead link the slot goes unfilled (a display moment cannot be
+    /// retried) and the radio pays a wasted timeout; on a degraded link
+    /// the fetch succeeds but holds the radio for the extra latency.
+    /// With netem disabled this is exactly `realtime_fetch`.
+    fn gated_realtime_fetch(&mut self, ci: usize, now: SimTime, category: u8) {
+        if let Some(net) = self.net.as_mut() {
+            let v = net.attempt(ci, now);
+            if !v.ok {
+                self.netem.realtime_failures += 1;
+                self.unfilled += 1;
+                self.clients[ci].radio.stall(now, v.latency);
+                return;
+            }
+            if !v.latency.is_zero() {
+                self.clients[ci].radio.stall(now, v.latency);
+            }
+        }
+        self.realtime_fetch(ci, now, category);
     }
 
     /// Status-quo path: wake the radio, auction the slot in real time, and
@@ -360,7 +415,7 @@ impl Simulator {
         if dropped {
             self.syncs_dropped += 1;
         } else {
-            self.sync_body(ci, now, None);
+            self.attempt_sync(ci, now, 0);
         }
 
         // Schedule the next periodic sync; one extra period past the
@@ -372,12 +427,86 @@ impl Simulator {
         }
     }
 
+    /// Runs a sync through the network channel: a failed round trip costs
+    /// a wasted radio wakeup and schedules a backoff retry; a successful
+    /// one proceeds to [`Simulator::sync_body`] carrying the link's extra
+    /// latency. `attempt` is the number of round trips already burnt on
+    /// this sync (0 for the periodic attempt). With netem disabled this
+    /// is exactly `sync_body` on an ideal link.
+    fn attempt_sync(&mut self, ci: usize, now: SimTime, attempt: u32) {
+        let Some(net) = self.net.as_mut() else {
+            self.sync_body(ci, now, None, SimDuration::ZERO);
+            return;
+        };
+        let v = net.attempt(ci, now);
+        if v.ok {
+            if attempt > 0 {
+                self.netem.retries_succeeded += 1;
+            }
+            self.sync_body(ci, now, None, v.latency);
+            return;
+        }
+        // The handshake went out and nothing came back: the radio woke,
+        // spent the uplink overhead plus the timeout, and got nothing —
+        // the wasted-wakeup energy the tail model makes expensive.
+        self.netem.sync_failures += 1;
+        self.clients[ci]
+            .radio
+            .transfer(now, 0, self.config.sync_overhead_bytes);
+        self.clients[ci].radio.stall(now, v.latency);
+        self.schedule_retry(ci, now, attempt);
+    }
+
+    /// Schedules the next backoff retry after a failed sync attempt, or
+    /// gives up once the policy's retry budget is spent.
+    fn schedule_retry(&mut self, ci: usize, now: SimTime, attempt: u32) {
+        let Some(net) = self.net.as_mut() else { return };
+        if attempt >= net.retry().max_retries {
+            self.netem.syncs_abandoned += 1;
+            return;
+        }
+        let at = now + net.backoff(ci, attempt);
+        // Same scheduling bound as periodic syncs: one interval past the
+        // horizon still flushes reports, anything later is pointless.
+        if at <= self.horizon + self.config.prefetch_interval {
+            self.netem.retries_scheduled += 1;
+            self.clients[ci].retry_pending = true;
+            self.queue.push(
+                at,
+                Event::Retry {
+                    c: ci as u32,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    fn on_retry(&mut self, now: SimTime, c: u32, attempt: u32) {
+        let ci = c as usize;
+        // A sync completed since this retry was scheduled (periodic or
+        // piggybacked); the client has nothing left to retry.
+        if !self.clients[ci].retry_pending {
+            return;
+        }
+        self.clients[ci].retry_pending = false;
+        self.attempt_sync(ci, now, attempt);
+    }
+
     /// One client/server sync: report, observe, cancel, deliver, sell,
     /// transfer. With `rt_fetch = Some(category)` the sync also serves the
     /// current slot via a real-time auction, sharing the radio wakeup
-    /// (piggybacking).
-    fn sync_body(&mut self, ci: usize, now: SimTime, rt_fetch: Option<u8>) {
+    /// (piggybacking). `link_latency` is the channel's extra round-trip
+    /// stall, charged only if the sync actually wakes the radio.
+    fn sync_body(
+        &mut self,
+        ci: usize,
+        now: SimTime,
+        rt_fetch: Option<u8>,
+        link_latency: SimDuration,
+    ) {
         let c = ci as u32;
+        // This sync got through, so any outstanding retry is obsolete.
+        self.clients[ci].retry_pending = false;
         // New epoch: every per-client expected-rate memo entry from the
         // previous sync is now stale.
         self.sync_epoch += 1;
@@ -429,7 +558,7 @@ impl Simulator {
             self.ledger.record_sale(&sold);
             let holders = self.place_ad(ci, now, deadline, &mut pool_built);
             self.replicas_assigned += holders.len() as u64 - 1;
-            self.tracker.register(sold.id.0, &holders);
+            self.tracker.register(sold.id.0, &holders, deadline);
             // The first holder in placement order is the primary copy; the
             // rest are insurance replicas that display only after the
             // holder's own primaries.
@@ -537,6 +666,11 @@ impl Simulator {
         let up =
             report_count * self.config.ad_bytes_up + self.config.sync_overhead_bytes + rt_bytes.1;
         self.clients[ci].radio.transfer(now, down, up);
+        if !link_latency.is_zero() {
+            // Degraded link: the round trip holds the radio active past
+            // the payload time (queued behind the transfer just issued).
+            self.clients[ci].radio.stall(now, link_latency);
+        }
         self.syncs += 1;
         self.clients[ci].last_sync = now;
     }
@@ -679,10 +813,76 @@ impl Simulator {
         // before declaring one.
         let grace = self.config.prefetch_interval.saturating_mul(2);
         self.expire(now.saturating_sub(grace));
+        if self.net.is_some() {
+            self.rescue_dark_ads(now);
+        }
         let next = now + SimDuration::from_hours(1);
         if next <= self.horizon + self.config.deadline + grace {
             self.queue.push(next, Event::ExpirySweep);
         }
+    }
+
+    /// Deadline rescue (netem only): ads due within the next prefetch
+    /// interval whose holders have *all* gone dark get one extra replica
+    /// on a reachable client that will sync before the deadline. Without
+    /// this, a regional outage turns every ad it strands into an SLA
+    /// violation even though connected clients could still display it.
+    fn rescue_dark_ads(&mut self, now: SimTime) {
+        let n = self.clients.len();
+        if n == 0 {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        self.tracker
+            .undisplayed_due_before(now + self.config.prefetch_interval, &mut due);
+        // The tracker iterates a HashMap; sort so rescue order (and the
+        // rotating cursor it advances) is deterministic.
+        due.sort_unstable();
+        for &(ad, deadline) in &due {
+            if deadline <= now {
+                continue; // Too late for any new holder to display it.
+            }
+            let Some(net) = self.net.as_mut() else { break };
+            // Copy the holder set out so the tracker can be mutated below.
+            let holders: InlineVec<u32, { PLAN_INLINE + 1 }> = match self.tracker.holders(ad) {
+                Some(h) => InlineVec::from_slice(h),
+                None => continue,
+            };
+            // Reachability only consults the link trajectory (no failure
+            // coin), so the scan cannot perturb later attempt outcomes.
+            if holders.iter().any(|&h| net.reachable(h as usize, now)) {
+                continue; // Some holder can still sync in time.
+            }
+            // Every holder is dark: scan from the rotating cursor for a
+            // reachable client whose next sync lands before the deadline.
+            let mut target = None;
+            for _ in 0..self.config.candidate_pool.min(n) {
+                self.cand_cursor = (self.cand_cursor + 1) % n;
+                let j = self.cand_cursor;
+                if holders.as_slice().contains(&(j as u32)) {
+                    continue;
+                }
+                if self.clients[j].next_sync < deadline && net.reachable(j, now) {
+                    target = Some(j as u32);
+                    break;
+                }
+            }
+            match target {
+                Some(t) if self.tracker.rescue_to(ad, t) => {
+                    self.netem.ads_rescued += 1;
+                    self.replicas_assigned += 1;
+                    self.clients[t as usize].queued += 1;
+                    self.clients[t as usize].outbox.push(CachedAd {
+                        id: AdId(ad),
+                        deadline,
+                        replica: true,
+                    });
+                }
+                _ => self.netem.rescues_unplaced += 1,
+            }
+        }
+        self.scratch_due = due;
     }
 
     fn expire(&mut self, now: SimTime) {
@@ -740,6 +940,7 @@ impl Simulator {
             syncs_skipped: self.syncs_skipped,
             syncs_dropped: self.syncs_dropped,
             replicas_assigned: self.replicas_assigned,
+            netem: self.netem,
             per_user_energy_j: per_user,
             ledger: self.ledger.totals(),
         }
@@ -962,6 +1163,95 @@ mod tests {
             r0.ledger.revenue, r1.ledger.revenue,
             "distinct streams should produce distinct auction outcomes"
         );
+    }
+
+    #[test]
+    fn netem_disabled_runs_leave_all_netem_counters_zero() {
+        let t = trace();
+        let r = Simulator::new(SystemConfig::prefetch_default(1), &t).run();
+        assert_eq!(r.netem, crate::report::NetemCounters::default());
+        assert!(!r.summary().contains("netem"));
+    }
+
+    #[test]
+    fn netem_flaky_link_fails_syncs_and_retries_recover_some() {
+        let t = trace();
+        let mut cfg = SystemConfig::prefetch_default(21);
+        cfg.netem = adpf_netem::NetemConfig::flaky_cellular();
+        let r = Simulator::new(cfg, &t).run();
+        assert!(r.netem.sync_failures > 0, "flaky link must bite: {r:?}");
+        assert!(r.netem.retries_scheduled > 0);
+        assert!(
+            r.netem.retries_succeeded > 0,
+            "some retries must get through: {:?}",
+            r.netem
+        );
+        assert!(r.netem.retries_succeeded <= r.netem.retries_scheduled);
+        // Failures never break the books.
+        assert_eq!(r.impressions + r.unfilled, r.slots);
+        assert_eq!(r.ledger.billed + r.ledger.expired, r.ledger.sold);
+        assert!(r.summary().contains("netem"));
+    }
+
+    #[test]
+    fn netem_runs_are_deterministic() {
+        let t = trace();
+        let mk = || {
+            let mut cfg = SystemConfig::prefetch_default(23);
+            cfg.netem = adpf_netem::NetemConfig::degraded();
+            cfg
+        };
+        let a = Simulator::new(mk(), &t).run();
+        let b = Simulator::new(mk(), &t).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn netem_gates_realtime_mode_too() {
+        let t = trace();
+        let mut cfg = SystemConfig::realtime(25);
+        cfg.netem = adpf_netem::NetemConfig::degraded();
+        let r = Simulator::new(cfg, &t).run();
+        assert!(r.netem.realtime_failures > 0);
+        // A failed fetch leaves its slot unfilled, never half-billed.
+        assert_eq!(r.impressions + r.unfilled, r.slots);
+        assert!(r.unfilled >= r.netem.realtime_failures);
+        assert_eq!(
+            r.realtime_fetches + r.netem.realtime_failures,
+            r.slots,
+            "every slot either fetched or failed on the link"
+        );
+    }
+
+    #[test]
+    fn netem_outage_abandons_syncs_and_rescues_stranded_ads() {
+        let t = trace();
+        let mut cfg = SystemConfig::prefetch_default(27);
+        // A half-population blackout two days in, long enough to outlive
+        // the whole retry budget.
+        cfg.netem = adpf_netem::NetemConfig::flaky_cellular().with_outage(
+            48,
+            SimDuration::from_hours(10),
+            0.5,
+        );
+        let r = Simulator::new(cfg.clone(), &t).run();
+        assert!(
+            r.netem.syncs_abandoned > 0,
+            "a 10h blackout must exhaust retry budgets: {:?}",
+            r.netem
+        );
+        assert!(
+            r.netem.ads_rescued > 0,
+            "dark holders' ads must be re-replicated: {:?}",
+            r.netem
+        );
+        assert_eq!(r.ledger.billed + r.ledger.expired, r.ledger.sold);
+
+        // The outage must hurt relative to plain flaky conditions.
+        let mut flaky_cfg = cfg;
+        flaky_cfg.netem = adpf_netem::NetemConfig::flaky_cellular();
+        let flaky = Simulator::new(flaky_cfg, &t).run();
+        assert!(r.netem.sync_failures > flaky.netem.sync_failures);
     }
 
     #[test]

@@ -50,7 +50,6 @@ fn report(
         refunded,
         duplicates: sold / 5,
         late_displays: sold / 9,
-        ..LedgerTotals::default()
     };
     r
 }

@@ -107,7 +107,7 @@ proptest! {
             q.push(SimTime::from_millis(t), i);
         }
         let mut expect: Vec<(u64, usize)> =
-            times.iter().map(|&t| t).zip(0..).collect();
+            times.iter().copied().zip(0..).collect();
         expect.sort_by_key(|&(t, i)| (t, i));
         let mut got = Vec::new();
         while let Some((t, i)) = q.pop() {

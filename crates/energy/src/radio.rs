@@ -193,6 +193,67 @@ impl Radio {
         }
     }
 
+    /// Holds the radio active for `duration` starting at `at` without moving
+    /// any payload bytes — a failed round trip that times out, or extra
+    /// degraded-link latency. Charges the same promotion/tail preamble as a
+    /// transfer plus active power for `duration`, but does not count a
+    /// transfer or any bytes.
+    ///
+    /// Like [`Radio::transfer`], calls must arrive in non-decreasing `at`
+    /// order. A zero `duration` on an idle radio still pays the promotion —
+    /// the modem woke up for nothing, which is exactly the waste the paper's
+    /// tail-energy analysis worries about.
+    pub fn stall(&mut self, at: SimTime, duration: SimDuration) -> TransferRecord {
+        let before = self.energy.total_j();
+        let tail_total = self.profile.tail_duration();
+
+        let (mut start, promoted) = match self.last_activity_end {
+            None => (at, true),
+            Some(prev_end) => {
+                let arrival = at.max(prev_end);
+                let gap = arrival.saturating_since(prev_end);
+                self.charge_tail(prev_end, gap);
+                if gap >= tail_total {
+                    if let Some(tl) = self.timeline.as_mut() {
+                        tl.record(prev_end + tail_total, arrival, RadioState::Idle);
+                    }
+                    (arrival, true)
+                } else {
+                    (arrival, false)
+                }
+            }
+        };
+
+        if promoted {
+            self.energy.promotion_j += self.profile.promotion_energy_j();
+            self.energy.promotions += 1;
+            self.energy.active_time += self.profile.promotion_delay;
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.record(
+                    start,
+                    start + self.profile.promotion_delay,
+                    RadioState::Promoting,
+                );
+            }
+            start += self.profile.promotion_delay;
+        }
+
+        let end = start + duration;
+        self.energy.transfer_j += self.profile.transfer_power_mw * duration.as_secs_f64() / 1_000.0;
+        self.energy.active_time += duration;
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record(start, end, RadioState::Transferring);
+        }
+        self.last_activity_end = Some(end);
+
+        TransferRecord {
+            start,
+            end,
+            promoted,
+            energy_j: self.energy.total_j() - before,
+        }
+    }
+
     /// Flushes any pending tail as of `at` and returns the final breakdown.
     ///
     /// After `finish` the radio is fully idle; a later transfer pays a fresh
@@ -361,6 +422,53 @@ mod tests {
         for w in tl.intervals().windows(2) {
             assert!(w[0].end <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
         }
+    }
+
+    #[test]
+    fn stall_pays_wakeup_but_moves_no_bytes() {
+        let p = profiles::umts_3g();
+        let mut r = Radio::new(p.clone());
+        let rec = r.stall(SimTime::from_secs(5), SimDuration::from_millis(1_500));
+        assert!(rec.promoted);
+        let e = *r.energy();
+        assert_eq!(e.transfers, 0);
+        assert_eq!(e.bytes_down + e.bytes_up, 0);
+        assert_eq!(e.promotions, 1);
+        let expected_transfer = p.transfer_power_mw * 1.5 / 1_000.0;
+        assert!((e.transfer_j - expected_transfer).abs() < 1e-12);
+        // Flushing later charges the full tail: the wasted wakeup costs
+        // promotion + hold + tail, same shape as a real transfer.
+        let final_e = r.finish(SimTime::from_hours(1));
+        assert!((final_e.tail_j - p.full_tail_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_inside_tail_skips_promotion() {
+        let p = profiles::umts_3g();
+        let mut r = Radio::new(p);
+        let rec = r.transfer(SimTime::ZERO, 4_096, 0);
+        // Retry 2 s after the transfer ends: still in DCH tail, no
+        // promotion, partial tail charged.
+        let s = r.stall(
+            rec.end + SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        assert!(!s.promoted);
+        assert_eq!(r.energy().promotions, 1);
+        assert!(r.energy().tail_j > 0.0);
+    }
+
+    #[test]
+    fn stall_and_transfer_interleave_in_time_order() {
+        let p = profiles::umts_3g();
+        let mut r = Radio::new(p);
+        let a = r.transfer(SimTime::ZERO, 1_000_000, 0);
+        // Stall requested while the transfer is in flight queues behind it.
+        let s = r.stall(SimTime::from_secs(1), SimDuration::from_secs(2));
+        assert_eq!(s.start, a.end);
+        assert!(!s.promoted);
+        assert_eq!(r.energy().tail_j, 0.0);
+        assert_eq!(r.energy().transfers, 1);
     }
 
     #[test]

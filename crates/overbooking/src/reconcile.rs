@@ -11,7 +11,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::planner::PLAN_INLINE;
-use adpf_desim::InlineVec;
+use adpf_desim::{InlineVec, SimTime};
 
 /// Disposition of a reported display.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +27,15 @@ pub enum DisplayDisposition {
 #[derive(Debug)]
 struct AdReplicas {
     /// Holder ids stay inline: replica sets are at most
-    /// `max_replicas + 1` clients, comfortably within [`PLAN_INLINE`].
+    /// `max_replicas + 1` clients, comfortably within [`PLAN_INLINE`]
+    /// (a rescue may push one past the inline cap; the vec spills).
     holders: InlineVec<u32, PLAN_INLINE>,
     displayed_by: Option<u32>,
+    /// Contract deadline, for dark-holder rescue scans.
+    deadline: SimTime,
+    /// Whether this ad already received a rescue replica; at most one
+    /// rescue per ad keeps the worst-case duplicate exposure bounded.
+    rescued: bool,
 }
 
 /// Tracks which clients hold replicas of which ads and queues
@@ -46,17 +52,52 @@ impl ReplicaTracker {
         Self::default()
     }
 
-    /// Registers an ad replicated across `holders`.
-    pub fn register(&mut self, ad: u64, holders: &[u32]) {
+    /// Registers an ad replicated across `holders`, due by `deadline`.
+    pub fn register(&mut self, ad: u64, holders: &[u32], deadline: SimTime) {
         match self.ads.entry(ad) {
             Entry::Vacant(v) => {
                 v.insert(AdReplicas {
                     holders: InlineVec::from_slice(holders),
                     displayed_by: None,
+                    deadline,
+                    rescued: false,
                 });
             }
             Entry::Occupied(_) => {
                 debug_assert!(false, "ad {ad} registered twice");
+            }
+        }
+    }
+
+    /// Adds `client` as an extra (rescue) replica holder for `ad`.
+    ///
+    /// Returns `false` — and changes nothing — when the ad is untracked,
+    /// already displayed, already rescued once, or `client` already holds
+    /// it. A successful rescue marks the ad so later scans skip it.
+    pub fn rescue_to(&mut self, ad: u64, client: u32) -> bool {
+        let Some(entry) = self.ads.get_mut(&ad) else {
+            return false;
+        };
+        if entry.displayed_by.is_some()
+            || entry.rescued
+            || entry.holders.as_slice().contains(&client)
+        {
+            return false;
+        }
+        entry.holders.push(client);
+        entry.rescued = true;
+        true
+    }
+
+    /// Collects `(ad, deadline)` for every tracked ad that is still
+    /// undisplayed, has not been rescued, and is due before `t`.
+    ///
+    /// Appends to `out` in hash-map order — callers that need determinism
+    /// must sort the result.
+    pub fn undisplayed_due_before(&self, t: SimTime, out: &mut Vec<(u64, SimTime)>) {
+        for (&ad, e) in &self.ads {
+            if e.displayed_by.is_none() && !e.rescued && e.deadline < t {
+                out.push((ad, e.deadline));
             }
         }
     }
@@ -124,7 +165,7 @@ mod tests {
     #[test]
     fn first_display_cancels_other_holders() {
         let mut t = ReplicaTracker::new();
-        t.register(7, &[1, 2, 3]);
+        t.register(7, &[1, 2, 3], SimTime::from_hours(1));
         assert_eq!(t.record_display(7, 2), DisplayDisposition::First);
         assert!(t.is_displayed(7));
         assert_eq!(t.take_cancellations(1), vec![7]);
@@ -138,7 +179,7 @@ mod tests {
     #[test]
     fn later_displays_are_duplicates() {
         let mut t = ReplicaTracker::new();
-        t.register(1, &[10, 11]);
+        t.register(1, &[10, 11], SimTime::from_hours(1));
         assert_eq!(t.record_display(1, 10), DisplayDisposition::First);
         assert_eq!(t.record_display(1, 11), DisplayDisposition::Duplicate);
         assert_eq!(t.record_display(1, 10), DisplayDisposition::Duplicate);
@@ -148,7 +189,7 @@ mod tests {
     fn unknown_ads_are_flagged() {
         let mut t = ReplicaTracker::new();
         assert_eq!(t.record_display(5, 1), DisplayDisposition::Unknown);
-        t.register(5, &[1]);
+        t.register(5, &[1], SimTime::from_hours(1));
         t.remove(5);
         assert_eq!(t.record_display(5, 1), DisplayDisposition::Unknown);
         assert!(!t.is_displayed(5));
@@ -157,8 +198,8 @@ mod tests {
     #[test]
     fn cancellations_accumulate_across_ads() {
         let mut t = ReplicaTracker::new();
-        t.register(1, &[1, 2]);
-        t.register(2, &[1, 3]);
+        t.register(1, &[1, 2], SimTime::from_hours(1));
+        t.register(2, &[1, 3], SimTime::from_hours(1));
         t.record_display(1, 2);
         t.record_display(2, 3);
         let mut c = t.take_cancellations(1);
@@ -169,17 +210,60 @@ mod tests {
     #[test]
     fn single_holder_needs_no_cancellation() {
         let mut t = ReplicaTracker::new();
-        t.register(9, &[4]);
+        t.register(9, &[4], SimTime::from_hours(1));
         assert_eq!(t.record_display(9, 4), DisplayDisposition::First);
         assert!(t.take_cancellations(4).is_empty());
+    }
+
+    #[test]
+    fn rescue_adds_holder_once_and_joins_cancellation_fanout() {
+        let mut t = ReplicaTracker::new();
+        t.register(7, &[1, 2], SimTime::from_hours(1));
+        assert!(t.rescue_to(7, 3));
+        assert_eq!(t.holders(7), Some(&[1, 2, 3][..]));
+        // Second rescue is refused: at most one per ad.
+        assert!(!t.rescue_to(7, 4));
+        // Existing holders can't be "rescued to".
+        assert!(!t.rescue_to(7, 1));
+        // If the rescue replica displays first, original holders are
+        // cancelled like any other losers.
+        assert_eq!(t.record_display(7, 3), DisplayDisposition::First);
+        assert_eq!(t.take_cancellations(1), vec![7]);
+        assert_eq!(t.take_cancellations(2), vec![7]);
+    }
+
+    #[test]
+    fn rescue_refused_for_displayed_or_unknown_ads() {
+        let mut t = ReplicaTracker::new();
+        assert!(!t.rescue_to(99, 1));
+        t.register(5, &[1], SimTime::from_hours(1));
+        t.record_display(5, 1);
+        assert!(!t.rescue_to(5, 2));
+    }
+
+    #[test]
+    fn due_scan_reports_undisplayed_unrescued_ads() {
+        let mut t = ReplicaTracker::new();
+        t.register(1, &[1], SimTime::from_hours(1));
+        t.register(2, &[2], SimTime::from_hours(2));
+        t.register(3, &[3], SimTime::from_hours(1));
+        t.record_display(1, 1);
+        t.rescue_to(3, 9);
+        let mut due = Vec::new();
+        t.undisplayed_due_before(SimTime::from_mins(90), &mut due);
+        // Ad 1 displayed, ad 2 not yet due, ad 3 already rescued.
+        assert!(due.is_empty());
+        t.register(4, &[4], SimTime::from_mins(30));
+        t.undisplayed_due_before(SimTime::from_mins(90), &mut due);
+        assert_eq!(due, vec![(4, SimTime::from_mins(30))]);
     }
 
     #[test]
     fn len_tracks_registration_and_removal() {
         let mut t = ReplicaTracker::new();
         assert!(t.is_empty());
-        t.register(1, &[1]);
-        t.register(2, &[2]);
+        t.register(1, &[1], SimTime::from_hours(1));
+        t.register(2, &[2], SimTime::from_hours(1));
         assert_eq!(t.len(), 2);
         t.remove(1);
         assert_eq!(t.len(), 1);

@@ -321,6 +321,26 @@ impl Poisson {
         }
         Ok(Self { lambda })
     }
+
+    /// Creates a Poisson distribution, clamping an invalid mean (NaN,
+    /// infinite, or negative) to 0 instead of failing.
+    ///
+    /// Workload generators compute `lambda` from sampled per-user rates
+    /// scaled by calendar factors; a pathological combination should
+    /// degrade to "no arrivals", not panic mid-generation. Debug builds
+    /// still assert so the bad parameter is caught in tests.
+    pub fn clamped(lambda: f64) -> Self {
+        debug_assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson::clamped given invalid lambda {lambda}"
+        );
+        let lambda = if lambda.is_finite() && lambda >= 0.0 {
+            lambda
+        } else {
+            0.0
+        };
+        Self { lambda }
+    }
 }
 
 impl Distribution<u64> for Poisson {
@@ -614,6 +634,22 @@ mod tests {
         let d = Poisson::new(0.0).unwrap();
         let mut r = rng();
         assert_eq!(d.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn poisson_clamped_passes_valid_and_floors_invalid() {
+        assert_eq!(Poisson::clamped(3.5).lambda, 3.5);
+        assert_eq!(Poisson::clamped(0.0).lambda, 0.0);
+        // Release builds clamp rather than panic; debug builds assert, so
+        // only exercise the invalid inputs when debug assertions are off.
+        if !cfg!(debug_assertions) {
+            let mut r = rng();
+            for bad in [-1.0, f64::NAN, f64::INFINITY] {
+                let d = Poisson::clamped(bad);
+                assert_eq!(d.lambda, 0.0);
+                assert_eq!(d.sample(&mut r), 0);
+            }
+        }
     }
 
     #[test]

@@ -168,9 +168,7 @@ impl PopulationConfig {
                 } else {
                     1.0
                 };
-                let n = Poisson::new(rate * factor)
-                    .expect("positive rate")
-                    .sample(&mut rng);
+                let n = Poisson::clamped(rate * factor).sample(&mut rng);
                 for _ in 0..n {
                     let hour = hour_dist.sample(&mut rng) as u64;
                     let offset_ms = rng.gen_range(0..adpf_desim::time::MILLIS_PER_HOUR);

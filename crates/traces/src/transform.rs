@@ -161,11 +161,31 @@ mod tests {
             merged.sessions().len(),
             a.sessions().len() + b.sessions().len()
         );
-        let max_user = merged.sessions().iter().map(|s| s.user.0).max().unwrap();
-        assert!(max_user < 12);
+        let max_user = merged.sessions().iter().map(|s| s.user.0).max();
+        assert!(max_user.is_some_and(|u| u < 12));
         // Slot derivation still works over the merged population.
         let slots = merged.ad_slots(SimDuration::from_secs(30));
         assert!(!slots.is_empty());
+    }
+
+    #[test]
+    fn merge_survives_empty_traces() {
+        // Regression: the user-id maximum over a merged trace is `None`
+        // when both inputs are empty — nothing here may unwrap it.
+        let empty = Trace::new(Vec::new(), 0, SimTime::from_days(1));
+        let merged = merge_populations(&empty, &empty);
+        assert_eq!(merged.num_users(), 0);
+        assert!(merged.sessions().is_empty());
+        assert!(merged.sessions().iter().map(|s| s.user.0).max().is_none());
+
+        // One-sided emptiness keeps the populated side's numbering.
+        let t = trace();
+        let left = merge_populations(&t, &empty);
+        assert_eq!(left.num_users(), t.num_users());
+        assert_eq!(left.sessions().len(), t.sessions().len());
+        let right = merge_populations(&empty, &t);
+        assert_eq!(right.num_users(), t.num_users());
+        assert_eq!(right.sessions().len(), t.sessions().len());
     }
 
     #[test]

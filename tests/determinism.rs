@@ -37,6 +37,13 @@ fn aggregates(r: &SimReport) -> Vec<(&'static str, f64)> {
         ("syncs_skipped", r.syncs_skipped as f64),
         ("syncs_dropped", r.syncs_dropped as f64),
         ("replicas_assigned", r.replicas_assigned as f64),
+        ("netem_sync_failures", r.netem.sync_failures as f64),
+        ("netem_retries_scheduled", r.netem.retries_scheduled as f64),
+        ("netem_retries_succeeded", r.netem.retries_succeeded as f64),
+        ("netem_syncs_abandoned", r.netem.syncs_abandoned as f64),
+        ("netem_realtime_failures", r.netem.realtime_failures as f64),
+        ("netem_ads_rescued", r.netem.ads_rescued as f64),
+        ("netem_rescues_unplaced", r.netem.rescues_unplaced as f64),
         ("sold", r.ledger.sold as f64),
         ("billed", r.ledger.billed as f64),
         ("revenue", r.ledger.revenue),
@@ -104,6 +111,58 @@ fn iphone_preset_matches_across_thread_counts() {
     let t4 = Simulator::run_parallel(&cfg, &trace, 4);
     assert_same_aggregates(&t1, &t4, "iphone-like threads 1 vs 4");
     assert_eq!(t1, t4);
+}
+
+/// The netem-enabled configs the determinism suite covers: plain flaky
+/// links, and flaky links plus a half-population blackout.
+fn netem_configs() -> Vec<SystemConfig> {
+    use adprefetch::desim::SimDuration;
+    use adprefetch::netem::NetemConfig;
+    let mut flaky = SystemConfig::prefetch_default(5);
+    flaky.netem = NetemConfig::flaky_cellular();
+    let mut blackout = SystemConfig::prefetch_default(5);
+    blackout.netem = NetemConfig::flaky_cellular().with_outage(48, SimDuration::from_hours(6), 0.5);
+    vec![flaky, blackout]
+}
+
+#[test]
+fn netem_enabled_runs_are_bit_identical_across_threads() {
+    // The tentpole's determinism criterion: with netem enabled, reports
+    // are identical at --threads 1/2/4. Channel trajectories depend only
+    // on (stream_seed, client index), never on thread scheduling.
+    let trace = small_trace();
+    for cfg in netem_configs() {
+        let t1 = Simulator::run_parallel(&cfg, &trace, 1);
+        let t2 = Simulator::run_parallel(&cfg, &trace, 2);
+        let t4 = Simulator::run_parallel(&cfg, &trace, 4);
+        assert!(
+            t1.netem.sync_failures > 0,
+            "netem must be live in this check ({})",
+            cfg.netem.name
+        );
+        assert_same_aggregates(
+            &t1,
+            &t2,
+            &format!("netem {} threads 1 vs 2", cfg.netem.name),
+        );
+        assert_same_aggregates(
+            &t1,
+            &t4,
+            &format!("netem {} threads 1 vs 4", cfg.netem.name),
+        );
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t4);
+    }
+}
+
+#[test]
+fn netem_runs_with_same_seed_twice_are_bit_identical() {
+    let trace = small_trace();
+    for cfg in netem_configs() {
+        let a = Simulator::new(cfg.clone(), &trace).run();
+        let b = Simulator::new(cfg.clone(), &trace).run();
+        assert_eq!(a, b, "netem {}: reruns must be identical", cfg.netem.name);
+    }
 }
 
 #[test]

@@ -251,9 +251,7 @@ impl Default for Criterion {
 
 impl Criterion {
     fn matches(&self, full_name: &str) -> bool {
-        self.filter
-            .as_deref()
-            .map_or(true, |f| full_name.contains(f))
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
     }
 
     /// Starts a named benchmark group.
