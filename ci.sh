@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
 # Local CI gate: build, test, and formatting check. Run from the repo root.
 #
-# `./ci.sh quick` runs only the perf smoke: the fixed-seed smoke workload
+# `./ci.sh quick` runs only the perf gates: the fixed-seed smoke workload
 # is replayed and its merged report hash compared to the committed golden
-# below. Any divergence means a change altered simulated outcomes —
+# below (any divergence means a change altered simulated outcomes —
 # intentional behavior changes must update the golden alongside the code;
-# silent drift from perf work is caught for free.
+# silent drift from perf work is caught for free), then the thread-scaling
+# check runs the quick workload at --threads 1 and 4 and fails below a
+# 1.5x events/s ratio (generous, to avoid flaky CI). On single-CPU hosts
+# the scaling check skips itself with exit 0: scaling is unobservable
+# there, and determinism is still covered by the smoke hash.
 set -eux
 
 SMOKE_GOLDEN="smoke-hash: ba08fcf9274d6de0"
@@ -14,9 +18,14 @@ perf_smoke() {
     test "$(./target/release/baseline --smoke)" = "$SMOKE_GOLDEN"
 }
 
+perf_scaling() {
+    ./target/release/baseline --scaling-check
+}
+
 if [ "${1:-}" = "quick" ]; then
     cargo build --release -p adpf-bench
     perf_smoke
+    perf_scaling
     exit 0
 fi
 
@@ -25,3 +34,4 @@ cargo test -q --workspace --release
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 perf_smoke
+perf_scaling

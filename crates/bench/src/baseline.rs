@@ -60,15 +60,21 @@ impl BaselineWorkload {
 
     /// Generates the workload's trace.
     pub fn trace(&self) -> Trace {
+        self.trace_threads(1)
+    }
+
+    /// Generates the workload's trace across `threads` OS threads —
+    /// byte-identical to [`BaselineWorkload::trace`] at any count.
+    pub fn trace_threads(&self, threads: usize) -> Trace {
         if self.name.starts_with("smoke") {
-            PopulationConfig::small_test(self.trace_seed).generate()
+            PopulationConfig::small_test(self.trace_seed).generate_parallel(threads)
         } else {
             PopulationConfig {
                 num_users: self.users,
                 days: self.days,
                 ..PopulationConfig::iphone_like(self.trace_seed)
             }
-            .generate()
+            .generate_parallel(threads)
         }
     }
 
@@ -87,8 +93,13 @@ pub struct BaselineMeasurement {
     pub workload: String,
     /// Worker threads used.
     pub threads: usize,
-    /// Wall-clock seconds for the run.
+    /// Wall-clock seconds for the simulation run alone. Trace generation
+    /// is timed separately in `gen_wall_s` and never charged to the
+    /// simulator — `events_per_sec` divides by this field only.
     pub wall_s: f64,
+    /// Wall-clock seconds spent generating the trace (at the same thread
+    /// count), reported alongside so generation scaling is visible too.
+    pub gen_wall_s: f64,
     /// Simulation events processed: slots plus syncs (taken, skipped,
     /// and dropped) — the unit of simulator work.
     pub events: u64,
@@ -108,7 +119,8 @@ impl BaselineMeasurement {
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"workload\":\"{}\",\"threads\":{},",
-                "\"wall_s\":{:.4},\"events\":{},\"events_per_sec\":{:.0},",
+                "\"wall_s\":{:.4},\"gen_wall_s\":{:.4},",
+                "\"events\":{},\"events_per_sec\":{:.0},",
                 "\"ads_placed\":{},\"ads_placed_per_sec\":{:.0},",
                 "\"report_hash\":\"{:016x}\"}}"
             ),
@@ -116,6 +128,7 @@ impl BaselineMeasurement {
             self.workload,
             self.threads,
             self.wall_s,
+            self.gen_wall_s,
             self.events,
             self.events_per_sec,
             self.ads_placed,
@@ -127,15 +140,22 @@ impl BaselineMeasurement {
 
 /// Runs `workload` once at `threads` worker threads and measures it.
 ///
-/// The returned numbers are wall-clock (noisy between machines); the
+/// Trace generation runs first, at the same thread count, under its own
+/// timer (`gen_wall_s`); the simulation timer starts only once the trace
+/// exists, so `events_per_sec` measures the simulator alone. The
+/// returned numbers are wall-clock (noisy between machines); the
 /// `report_hash` is exact and machine-independent.
 pub fn measure(workload: &BaselineWorkload, threads: usize, label: &str) -> BaselineMeasurement {
-    let trace = workload.trace();
+    let t_gen = Instant::now();
+    let trace = workload.trace_threads(threads);
+    let gen_wall_s = t_gen.elapsed().as_secs_f64();
     let cfg = workload.config();
     let t0 = Instant::now();
     let report = Simulator::run_parallel(&cfg, &trace, threads);
     let wall_s = t0.elapsed().as_secs_f64();
-    measurement_from(&report, workload, threads, label, wall_s)
+    let mut m = measurement_from(&report, workload, threads, label, wall_s);
+    m.gen_wall_s = gen_wall_s;
+    m
 }
 
 /// Builds a measurement record from an already-produced report.
@@ -154,6 +174,7 @@ pub fn measurement_from(
         workload: workload.name.to_string(),
         threads,
         wall_s,
+        gen_wall_s: 0.0,
         events,
         ads_placed,
         events_per_sec: events as f64 / denom,
@@ -333,6 +354,7 @@ mod tests {
             workload: "w".into(),
             threads: 1,
             wall_s: 1.25,
+            gen_wall_s: 0.5,
             events: 1000,
             ads_placed: 500,
             events_per_sec: 800.0,
@@ -355,6 +377,19 @@ mod tests {
     }
 
     #[test]
+    fn parallel_trace_generation_matches_and_is_timed_separately() {
+        let w = BaselineWorkload::smoke();
+        assert_eq!(
+            w.trace(),
+            w.trace_threads(4),
+            "generation thread count must not change the trace"
+        );
+        let m = measure(&w, 2, "t");
+        assert!(m.gen_wall_s > 0.0, "generation time must be recorded");
+        assert!(m.wall_s > 0.0);
+    }
+
+    #[test]
     fn entry_line_is_valid_single_object() {
         let m = measure(&BaselineWorkload::smoke(), 1, "x");
         let line = m.to_json_line();
@@ -365,6 +400,7 @@ mod tests {
             "workload",
             "threads",
             "wall_s",
+            "gen_wall_s",
             "events",
             "events_per_sec",
             "ads_placed",

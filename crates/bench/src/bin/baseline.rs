@@ -4,25 +4,36 @@
 //!
 //! ```text
 //! baseline --label pre-change             # measure and append to BENCH_baseline.json
-//! baseline --label post --threads-list 1,4
+//! baseline --label post --threads-list 1,2,4,8
 //! baseline --smoke                        # CI gate: print the smoke report hash
+//! baseline --scaling-check                # CI gate: 4 threads must beat 1 thread
 //! ```
 //!
 //! `--smoke` runs the small fixed-seed workload at 1 and 4 threads,
 //! verifies the reports are bit-identical, and prints
 //! `smoke-hash: <hex>`; ci.sh compares that hash against the committed
 //! golden value to catch determinism regressions from perf work.
+//!
+//! `--scaling-check` runs the quick workload at 1 and 4 threads and fails
+//! unless the 4-thread events/s reaches 1.5× the 1-thread number (a
+//! generous bound chosen to avoid flaky CI) with identical report hashes.
+//! On hosts exposing fewer than 2 CPUs the check is skipped with exit
+//! code 0 — thread scaling is unobservable there, not broken.
 
 use std::process::ExitCode;
 
 use adpf_bench::baseline::{append_to_file, measure, BaselineWorkload};
 
+/// Minimum 4-thread / 1-thread events/s ratio `--scaling-check` accepts.
+const SCALING_FLOOR: f64 = 1.5;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = String::from("current");
     let mut out = String::from("BENCH_baseline.json");
-    let mut threads_list = vec![1usize, 4];
+    let mut threads_list = vec![1usize, 2, 4, 8];
     let mut smoke = false;
+    let mut scaling_check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,9 +41,14 @@ fn main() -> ExitCode {
                 smoke = true;
                 i += 1;
             }
+            "--scaling-check" => {
+                scaling_check = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: baseline [--smoke] [--label NAME] [--out PATH] [--threads-list 1,4]"
+                    "usage: baseline [--smoke] [--scaling-check] [--label NAME] [--out PATH] \
+                     [--threads-list 1,2,4,8]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -80,16 +96,52 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if scaling_check {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cpus < 2 {
+            println!(
+                "scaling-check: SKIPPED (host exposes {cpus} CPU; thread scaling is \
+                 unobservable here, determinism is still covered by --smoke)"
+            );
+            return ExitCode::SUCCESS;
+        }
+        let w = BaselineWorkload::e14_style();
+        let one = measure(&w, 1, "scaling-check");
+        let four = measure(&w, 4, "scaling-check");
+        if one.report_hash != four.report_hash {
+            eprintln!(
+                "scaling-check FAILED: 1-thread hash {:016x} != 4-thread hash {:016x}",
+                one.report_hash, four.report_hash
+            );
+            return ExitCode::FAILURE;
+        }
+        let ratio = four.events_per_sec / one.events_per_sec.max(1e-9);
+        println!(
+            "scaling-check: {:.0} events/s at 1 thread, {:.0} at 4 threads ({ratio:.2}x, \
+             floor {SCALING_FLOOR}x)",
+            one.events_per_sec, four.events_per_sec
+        );
+        if ratio < SCALING_FLOOR {
+            eprintln!("scaling-check FAILED: {ratio:.2}x < {SCALING_FLOOR}x");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let w = BaselineWorkload::e14_style();
     let mut measurements = Vec::new();
     for &threads in &threads_list {
         let m = measure(&w, threads, &label);
         println!(
-            "{} [{}] threads={}: {:.3}s wall, {:.0} events/s, {:.0} ads/s (hash {:016x})",
+            "{} [{}] threads={}: {:.3}s sim + {:.3}s gen, {:.0} events/s, {:.0} ads/s \
+             (hash {:016x})",
             m.label,
             m.workload,
             m.threads,
             m.wall_s,
+            m.gen_wall_s,
             m.events_per_sec,
             m.ads_placed_per_sec,
             m.report_hash

@@ -13,9 +13,10 @@
 //! the comparison (energy savings, revenue loss, SLA violations).
 //!
 //! Every run goes through the sharded simulator
-//! ([`Simulator::run_parallel`]); `--threads N` only spreads the fixed
-//! logical shards over N OS threads, so the report for a given trace and
-//! seed is identical at every thread count.
+//! ([`Simulator::run_parallel`]); the logical shard count derives from
+//! the population size alone, and `--threads N` only spreads those
+//! shards (and trace generation) over N OS threads, so the report for a
+//! given trace and seed is identical at every thread count.
 
 use std::fs::File;
 use std::process::ExitCode;
@@ -48,7 +49,9 @@ fn load_trace(o: &SimulateOpts) -> Result<Trace, String> {
         "small" => PopulationConfig::small_test(o.seed),
         other => return Err(format!("unknown preset `{other}`")),
     };
-    Ok(cfg.generate())
+    // Generation parallelizes over the same thread budget as the
+    // simulation, and is byte-identical at any count.
+    Ok(cfg.generate_parallel(o.threads))
 }
 
 fn print_report(report: &SimReport) {

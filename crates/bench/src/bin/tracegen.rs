@@ -5,6 +5,7 @@
 //! ```text
 //! tracegen --preset iphone --out trace.csv
 //! tracegen --users 500 --days 14 --seed 7 --out trace.csv
+//! tracegen --preset iphone --threads 4   # parallel generation, same bytes
 //! tracegen --preset wp            # writes to stdout
 //! ```
 
@@ -16,8 +17,10 @@ use adpf_traces::{csv, PopulationConfig, TraceStats};
 
 fn usage() {
     eprintln!(
-        "usage: tracegen [--preset iphone|wp|small] [--users N] [--days N] [--seed N] [--out FILE]\n\
-         Generates a synthetic app-usage trace in the adprefetch CSV format."
+        "usage: tracegen [--preset iphone|wp|small] [--users N] [--days N] [--seed N]\n\
+         \x20               [--threads N] [--out FILE]\n\
+         Generates a synthetic app-usage trace in the adprefetch CSV format.\n\
+         --threads parallelizes generation; the output is identical at any count."
     );
 }
 
@@ -27,6 +30,7 @@ struct Opts {
     users: Option<u32>,
     days: Option<u32>,
     seed: u64,
+    threads: usize,
     out: Option<String>,
 }
 
@@ -36,6 +40,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         users: None,
         days: None,
         seed: 42,
+        threads: 1,
         out: None,
     };
     let mut i = 0;
@@ -50,6 +55,9 @@ fn parse(args: &[String]) -> Option<Opts> {
             "--users" => opts.users = Some(value.parse().ok()?),
             "--days" => opts.days = Some(value.parse().ok()?),
             "--seed" => opts.seed = value.parse().ok()?,
+            "--threads" => {
+                opts.threads = value.parse().ok().filter(|&n| n >= 1)?;
+            }
             "--out" => opts.out = Some(value.clone()),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -90,7 +98,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let trace = cfg.generate();
+    let trace = cfg.generate_parallel(opts.threads);
     let stats = TraceStats::compute(&trace, adpf_desim::SimDuration::from_secs(30));
     eprintln!(
         "generated {} users x {} days: {} sessions, {} ad slots ({:.1} slots/user/day)",

@@ -15,7 +15,7 @@ use crate::table::Table;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16",
+        "e15", "e16", "e17",
     ]
 }
 
@@ -51,6 +51,9 @@ pub fn run_experiment_threads(id: &str, scale: Scale, threads: usize) -> Option<
         "e14" => Some(scaling::e14_scaling_threads(scale, threads)),
         "e15" => Some(vec![mechanisms::e15_mechanism_ablation(scale)]),
         "e16" => Some(vec![netem::e16_degraded_network(scale, threads)]),
+        // E17 sweeps its own thread counts; the caller's `threads` is
+        // irrelevant to a scaling experiment.
+        "e17" => Some(vec![scaling::e17_thread_scaling(scale)]),
         _ => None,
     }
 }
@@ -66,6 +69,6 @@ mod tests {
 
     #[test]
     fn ids_are_complete() {
-        assert_eq!(all_ids().len(), 16);
+        assert_eq!(all_ids().len(), 17);
     }
 }

@@ -124,6 +124,59 @@ pub fn e14_scaling_threads(scale: Scale, threads: usize) -> Vec<Table> {
     vec![prices, throughput, thread_sweep]
 }
 
+/// E17: thread scaling of the parallel pipeline. Trace generation and
+/// sharded simulation are timed separately at each worker-thread count
+/// (generation used to be serial and dominated bench setup); the report
+/// hash column is the determinism witness — threads are pure scheduling,
+/// so it must be identical in every row.
+pub fn e17_thread_scaling(scale: Scale) -> Table {
+    let users = *scale.scaling_sizes().last().expect("scales are non-empty");
+    let pop = PopulationConfig {
+        num_users: users,
+        days: 7,
+        ..PopulationConfig::iphone_like(42)
+    };
+    let cfg = SystemConfig::prefetch_default(1);
+    let mut table = Table::new(
+        "E17",
+        "pipeline thread scaling: parallel generation + work-stealing simulation",
+        "threads are pure scheduling: the trace and the merged report are bit-identical \
+         at every count, so the speedup columns carry no semantic drift",
+        &[
+            "threads",
+            "gen s",
+            "sim s",
+            "events/s",
+            "sim speedup",
+            "report hash",
+        ],
+    );
+    let mut base_wall = None;
+    let mut base_hash = None;
+    for threads in scale.thread_counts() {
+        let t_gen = Instant::now();
+        let trace = pop.generate_parallel(threads);
+        let gen_s = t_gen.elapsed().as_secs_f64();
+        let t_sim = Instant::now();
+        let report = Simulator::run_parallel(&cfg, &trace, threads);
+        let wall = t_sim.elapsed().as_secs_f64();
+        let hash = crate::baseline::report_hash(&report);
+        let expect = *base_hash.get_or_insert(hash);
+        assert_eq!(hash, expect, "thread count changed the merged report");
+        let events = report.slots + report.syncs + report.syncs_skipped + report.syncs_dropped;
+        let base = *base_wall.get_or_insert(wall);
+        table.push(vec![
+            threads.to_string(),
+            f(gen_s, 2),
+            f(wall, 2),
+            f(events as f64 / wall.max(1e-9), 0),
+            f(base / wall.max(1e-9), 2),
+            format!("{hash:016x}"),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +200,17 @@ mod tests {
             }
         }
         assert_eq!(tables[1].rows.len(), Scale::Micro.scaling_sizes().len());
+    }
+
+    #[test]
+    fn e17_hashes_are_identical_at_every_thread_count() {
+        let t = e17_thread_scaling(Scale::Micro);
+        assert_eq!(t.rows.len(), Scale::Micro.thread_counts().len());
+        let hashes: Vec<&String> = t.rows.iter().map(|r| &r[5]).collect();
+        assert!(
+            hashes.windows(2).all(|w| w[0] == w[1]),
+            "report hash must not depend on threads: {hashes:?}"
+        );
     }
 
     #[test]

@@ -79,10 +79,12 @@ impl Scale {
         }
     }
 
-    /// Worker-thread counts for the sharded-throughput sweep (E14c).
+    /// Worker-thread counts for the sharded-throughput sweeps
+    /// (E14c, E17).
     ///
-    /// Counts never exceed [`adpf_core::DEFAULT_SHARDS`] — beyond that,
-    /// extra threads have no shards to run.
+    /// Counts never exceed [`adpf_core::DEFAULT_SHARDS`], the *floor* of
+    /// the derived shard count — so every sweep population has at least
+    /// one shard per worker at every listed count.
     pub fn thread_counts(self) -> Vec<usize> {
         match self {
             Scale::Micro => vec![1, 2],

@@ -44,4 +44,6 @@ pub mod sim;
 
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
 pub use report::{NetemCounters, SimReport};
-pub use sim::{Simulator, DEFAULT_SHARDS};
+pub use sim::{
+    default_shards, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS, USERS_PER_SHARD,
+};

@@ -135,6 +135,13 @@ impl SimReport {
         self.ledger.merge(&other.ledger);
     }
 
+    /// Pre-sizes the per-user accumulator for a merge over `users` total
+    /// users, so a shard-ordered reduction appends into one allocation
+    /// instead of regrowing per shard.
+    pub fn reserve_users(&mut self, users: usize) {
+        self.per_user_energy_j.reserve_exact(users);
+    }
+
     /// Ad energy per displayed impression, in joules; `0.0` with no
     /// impressions.
     pub fn energy_per_impression_j(&self) -> f64 {

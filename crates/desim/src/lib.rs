@@ -15,6 +15,9 @@
 //!   that want an inversion-of-control event loop.
 //! - [`smallvec`]: an [`InlineVec`] small-vector used by hot simulator
 //!   loops to build short lists without heap allocation.
+//! - [`steal`]: a [`WorkQueue`] atomic work queue that hands out indices
+//!   into shared read-only work slices, the scheduling primitive behind
+//!   the work-stealing sharded simulator and parallel trace generation.
 //!
 //! # Examples
 //!
@@ -32,9 +35,11 @@
 pub mod engine;
 pub mod queue;
 pub mod smallvec;
+pub mod steal;
 pub mod time;
 
 pub use engine::{Actor, Scheduler, Simulation};
 pub use queue::EventQueue;
 pub use smallvec::InlineVec;
+pub use steal::WorkQueue;
 pub use time::{SimDuration, SimTime};

@@ -18,12 +18,24 @@
 //! the user id, so traces are reproducible and stable under population-size
 //! changes (user 7's sessions do not change when users 8.. are added).
 
-use adpf_desim::{SimDuration, SimTime};
+use std::sync::Mutex;
+
+use adpf_desim::{SimDuration, SimTime, WorkQueue};
 use adpf_stats::dist::{Discrete, Distribution, LogNormal, Poisson, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{AppId, Session, Trace, UserId};
+
+/// Population-wide sampling model, prebuilt once per generation run and
+/// shared read-only across worker threads (all fields are plain data).
+struct GenModel {
+    horizon: SimTime,
+    rate_dist: LogNormal,
+    duration_dist: LogNormal,
+    app_dist: Zipf,
+    jitter: Option<LogNormal>,
+}
 
 /// Configuration of a synthetic user population.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,78 +135,139 @@ impl PopulationConfig {
 
     /// Generates the trace described by this configuration.
     ///
+    /// A zero-user population yields an empty trace over the configured
+    /// horizon (the identity of sharded merging), so degenerate sweeps
+    /// and property tests don't need a special case.
+    ///
     /// # Panics
     ///
-    /// Panics if the configuration is statistically degenerate (zero users,
-    /// zero days, zero apps, or non-positive means) — configurations are
-    /// constructed by code, not parsed from input, so this is a programming
-    /// error.
+    /// Panics if the configuration is statistically degenerate (zero
+    /// days, zero apps, or non-positive means) — configurations are
+    /// constructed by code, not parsed from input, so this is a
+    /// programming error.
     pub fn generate(&self) -> Trace {
-        assert!(self.num_users > 0, "population needs at least one user");
+        self.generate_parallel(1)
+    }
+
+    /// [`PopulationConfig::generate`] fanned across `threads` OS threads.
+    ///
+    /// Every user's session stream is a pure function of
+    /// `(seed, user index)` — the per-user RNG never sees another user's
+    /// draws — so users can be generated in any order on any thread. The
+    /// per-user streams are assembled in user-index order before the
+    /// final [`Trace::new`] (whose sort is stable), which makes the
+    /// result **byte-identical** to the sequential path at every thread
+    /// count. `threads` is a scheduling choice, never a semantic one.
+    pub fn generate_parallel(&self, threads: usize) -> Trace {
         assert!(self.days > 0, "trace needs at least one day");
         assert!(self.num_apps > 0, "marketplace needs at least one app");
+        let model = self.model();
+        let users = self.num_users as usize;
+        let threads = threads.clamp(1, users.max(1));
 
-        let horizon = SimTime::from_days(self.days as u64);
-        let rate_dist = LogNormal::from_mean_cv(self.mean_sessions_per_day, self.user_rate_cv)
-            .expect("valid session-rate parameters");
-        let duration_dist = LogNormal::from_mean_cv(self.mean_session_secs, self.session_cv)
-            .expect("valid session-duration parameters");
-        let app_dist =
-            Zipf::new(self.num_apps as usize, self.app_zipf_exponent).expect("valid app Zipf");
-        let jitter = if self.user_hour_jitter_cv > 0.0 {
-            Some(LogNormal::from_mean_cv(1.0, self.user_hour_jitter_cv).expect("valid jitter"))
-        } else {
-            None
-        };
-
-        let mut sessions = Vec::new();
-        for user in 0..self.num_users {
-            let mut rng = self.user_rng(user);
-            let rate = rate_dist.sample(&mut rng).clamp(0.2, 250.0);
-
-            // Personalized diurnal profile.
-            let mut weights = self.hour_weights;
-            if let Some(j) = &jitter {
-                for w in &mut weights {
-                    *w *= j.sample(&mut rng);
-                }
+        if threads == 1 {
+            let mut sessions = Vec::new();
+            for user in 0..self.num_users {
+                self.user_sessions(user, &model, &mut sessions);
             }
-            let hour_dist = Discrete::new(&weights).expect("hour weights are valid");
+            return Trace::new(sessions, self.num_users, model.horizon);
+        }
 
-            for day in 0..self.days as u64 {
-                let day_start = SimTime::from_days(day);
-                let factor = if day_start.is_weekend() {
-                    self.weekend_factor
-                } else {
-                    1.0
-                };
-                let n = Poisson::clamped(rate * factor).sample(&mut rng);
-                for _ in 0..n {
-                    let hour = hour_dist.sample(&mut rng) as u64;
-                    let offset_ms = rng.gen_range(0..adpf_desim::time::MILLIS_PER_HOUR);
-                    let start = day_start
-                        + SimDuration::from_hours(hour)
-                        + SimDuration::from_millis(offset_ms);
-                    let dur_secs = duration_dist.sample(&mut rng).clamp(5.0, 4.0 * 3600.0);
-                    let mut duration = SimDuration::from_secs_f64(dur_secs);
-                    // Clip to the horizon so the trace stays bounded.
-                    if start + duration > horizon {
-                        duration = horizon.saturating_since(start);
+        // Workers claim user indices from an atomic queue (cheap users
+        // don't serialize behind heavy ones) and park each user's stream
+        // in its own slot; slots are then concatenated in user order,
+        // reproducing the sequential emission order exactly.
+        let queue = WorkQueue::new(users);
+        let slots: Vec<Mutex<Vec<Session>>> = (0..users).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    while let Some(u) = queue.claim() {
+                        let mut out = Vec::new();
+                        self.user_sessions(u as u32, &model, &mut out);
+                        *slots[u].lock().expect("generator slot poisoned") = out;
                     }
-                    if duration.is_zero() {
-                        continue;
-                    }
-                    let app = AppId((app_dist.sample(&mut rng) - 1) as u16);
-                    sessions.push(Session {
-                        user: UserId(user),
-                        app,
-                        start,
-                        duration,
-                    });
-                }
+                });
+            }
+        });
+        let mut sessions = Vec::new();
+        for slot in slots {
+            sessions.append(&mut slot.into_inner().expect("generator slot poisoned"));
+        }
+        Trace::new(sessions, self.num_users, model.horizon)
+    }
+
+    /// Builds the population-wide sampling model shared (read-only) by
+    /// every user's generator.
+    fn model(&self) -> GenModel {
+        GenModel {
+            horizon: SimTime::from_days(self.days as u64),
+            rate_dist: LogNormal::from_mean_cv(self.mean_sessions_per_day, self.user_rate_cv)
+                .expect("valid session-rate parameters"),
+            duration_dist: LogNormal::from_mean_cv(self.mean_session_secs, self.session_cv)
+                .expect("valid session-duration parameters"),
+            app_dist: Zipf::new(self.num_apps as usize, self.app_zipf_exponent)
+                .expect("valid app Zipf"),
+            jitter: if self.user_hour_jitter_cv > 0.0 {
+                Some(LogNormal::from_mean_cv(1.0, self.user_hour_jitter_cv).expect("valid jitter"))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Generates one user's sessions into `out`, in emission order.
+    ///
+    /// All randomness comes from the user's own RNG stream, so the output
+    /// depends only on `(config, user)` — the invariant parallel
+    /// generation rests on.
+    fn user_sessions(&self, user: u32, model: &GenModel, out: &mut Vec<Session>) {
+        let mut rng = self.user_rng(user);
+        let rate = model.rate_dist.sample(&mut rng).clamp(0.2, 250.0);
+
+        // Personalized diurnal profile.
+        let mut weights = self.hour_weights;
+        if let Some(j) = &model.jitter {
+            for w in &mut weights {
+                *w *= j.sample(&mut rng);
             }
         }
-        Trace::new(sessions, self.num_users, horizon)
+        let hour_dist = Discrete::new(&weights).expect("hour weights are valid");
+
+        for day in 0..self.days as u64 {
+            let day_start = SimTime::from_days(day);
+            let factor = if day_start.is_weekend() {
+                self.weekend_factor
+            } else {
+                1.0
+            };
+            let n = Poisson::clamped(rate * factor).sample(&mut rng);
+            for _ in 0..n {
+                let hour = hour_dist.sample(&mut rng) as u64;
+                let offset_ms = rng.gen_range(0..adpf_desim::time::MILLIS_PER_HOUR);
+                let start =
+                    day_start + SimDuration::from_hours(hour) + SimDuration::from_millis(offset_ms);
+                let dur_secs = model
+                    .duration_dist
+                    .sample(&mut rng)
+                    .clamp(5.0, 4.0 * 3600.0);
+                let mut duration = SimDuration::from_secs_f64(dur_secs);
+                // Clip to the horizon so the trace stays bounded.
+                if start + duration > model.horizon {
+                    duration = model.horizon.saturating_since(start);
+                }
+                if duration.is_zero() {
+                    continue;
+                }
+                let app = AppId((model.app_dist.sample(&mut rng) - 1) as u16);
+                out.push(Session {
+                    user: UserId(user),
+                    app,
+                    start,
+                    duration,
+                });
+            }
+        }
     }
 
     /// Per-user RNG derived from the master seed; stable across population
@@ -311,10 +384,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one user")]
-    fn zero_users_rejected() {
+    fn zero_users_yield_an_empty_trace() {
         let mut cfg = PopulationConfig::small_test(1);
         cfg.num_users = 0;
-        let _ = cfg.generate();
+        let t = cfg.generate();
+        assert_eq!(t.num_users(), 0);
+        assert!(t.sessions().is_empty());
+        assert_eq!(t.horizon(), SimTime::from_days(7));
+    }
+
+    /// A population with the iPhone dataset's statistical shape but sized
+    /// for a unit test (the real preset is 1,693 users over 28 days).
+    fn iphone_shaped() -> PopulationConfig {
+        PopulationConfig {
+            num_users: 120,
+            days: 7,
+            ..PopulationConfig::iphone_like(2013)
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_iphone_shape() {
+        let cfg = iphone_shaped();
+        let serial = cfg.generate();
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                serial,
+                cfg.generate_parallel(threads),
+                "{threads}-thread generation diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_windows_phone_shape() {
+        let mut cfg = PopulationConfig::windows_phone_like(7);
+        cfg.days = 7;
+        let serial = cfg.generate();
+        assert_eq!(serial, cfg.generate_parallel(4));
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_for_empty_population() {
+        let mut cfg = PopulationConfig::small_test(1);
+        cfg.num_users = 0;
+        assert_eq!(cfg.generate(), cfg.generate_parallel(4));
+    }
+
+    #[test]
+    fn oversubscribed_thread_counts_are_clamped_to_the_population() {
+        let mut cfg = PopulationConfig::small_test(5);
+        cfg.num_users = 3;
+        assert_eq!(cfg.generate(), cfg.generate_parallel(64));
     }
 }

@@ -150,8 +150,15 @@ impl Trace {
     /// Convenient layout for the predictors, which consume one user's slot
     /// stream at a time.
     pub fn slots_by_user(&self, refresh: SimDuration) -> Vec<Vec<SimTime>> {
-        let mut by_user: Vec<Vec<SimTime>> = vec![Vec::new(); self.num_users as usize];
-        for slot in self.ad_slots(refresh) {
+        Self::slots_by_user_from(&self.ad_slots(refresh), self.num_users)
+    }
+
+    /// [`Trace::slots_by_user`] over an already-derived slot stream, for
+    /// callers that need both views — deriving the stream once and
+    /// splitting it costs half of deriving it twice.
+    pub fn slots_by_user_from(slots: &[AdSlot], num_users: u32) -> Vec<Vec<SimTime>> {
+        let mut by_user: Vec<Vec<SimTime>> = vec![Vec::new(); num_users as usize];
+        for slot in slots {
             let idx = slot.user.0 as usize;
             if idx < by_user.len() {
                 by_user[idx].push(slot.time);
@@ -179,26 +186,50 @@ impl Trace {
     /// reassemble per-user series.
     pub fn split_users(&self, n_shards: usize) -> Vec<Trace> {
         let users = self.num_users as usize;
-        let n = n_shards.clamp(1, users.max(1));
+        if users == 0 {
+            return vec![Trace::new(Vec::new(), 0, self.horizon)];
+        }
+        let n = n_shards.clamp(1, users);
+        // The first `extra` shards hold `base + 1` users, the rest `base`;
+        // a user's shard is therefore computable in O(1), so sessions are
+        // routed in one pass over the trace instead of one filtering scan
+        // per shard (which at production shard counts dominated setup).
         let base = users / n;
         let extra = users % n;
-        let mut shards = Vec::with_capacity(n);
-        let mut offset = 0u32;
-        for i in 0..n {
-            let len = (base + usize::from(i < extra)) as u32;
-            let sessions: Vec<Session> = self
-                .sessions
-                .iter()
-                .filter(|s| s.user.0 >= offset && s.user.0 < offset + len)
-                .map(|s| Session {
-                    user: UserId(s.user.0 - offset),
-                    ..*s
-                })
-                .collect();
-            shards.push(Trace::new(sessions, len, self.horizon));
-            offset += len;
+        let wide = (extra * (base + 1)) as u32; // First user id in a base-sized shard.
+        let offsets: Vec<u32> = (0..n)
+            .scan(0u32, |off, i| {
+                let here = *off;
+                *off += (base + usize::from(i < extra)) as u32;
+                Some(here)
+            })
+            .collect();
+        let mut per_shard: Vec<Vec<Session>> = (0..n)
+            .map(|i| Vec::with_capacity(self.sessions.len() / n + usize::from(i < extra)))
+            .collect();
+        for s in &self.sessions {
+            let u = s.user.0;
+            if u as usize >= users {
+                continue; // Out-of-contract id; the old per-shard filter dropped it too.
+            }
+            let shard = if u < wide {
+                (u as usize) / (base + 1)
+            } else {
+                extra + ((u - wide) as usize) / base
+            };
+            per_shard[shard].push(Session {
+                user: UserId(u - offsets[shard]),
+                ..*s
+            });
         }
-        shards
+        per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(i, sessions)| {
+                let len = (base + usize::from(i < extra)) as u32;
+                Trace::new(sessions, len, self.horizon)
+            })
+            .collect()
     }
 
     /// Counts slots per fixed window of length `window` for one user's

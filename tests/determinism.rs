@@ -166,6 +166,92 @@ fn netem_runs_with_same_seed_twice_are_bit_identical() {
 }
 
 #[test]
+fn stalled_first_shard_cannot_perturb_the_merged_report() {
+    // Work-stealing scheduling seam: pin shard 0 behind an artificial
+    // delay so every other shard finishes (and is stolen) first. The
+    // merged report must equal the single-thread run — completion order
+    // is invisible after the shard-ordered merge.
+    use adprefetch::core::DEFAULT_SHARDS;
+    let trace = small_trace();
+    let cfg = SystemConfig::prefetch_default(5);
+    let baseline = Simulator::run_sharded(&cfg, &trace, DEFAULT_SHARDS, 1);
+    let stalled = Simulator::run_sharded_with_hook(&cfg, &trace, DEFAULT_SHARDS, 4, |shard| {
+        if shard == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+    });
+    assert_same_aggregates(&baseline, &stalled, "slow shard 0 vs single thread");
+    assert_eq!(baseline, stalled);
+}
+
+#[test]
+fn work_queue_stress_hands_out_each_index_exactly_once() {
+    // Stress iteration over the atomic work queue that schedules shards
+    // and generated users: many rounds of racing claimants, each round
+    // checked for exactly-once coverage. Failures here would surface as
+    // lost or double-simulated shards above, but this pins the primitive
+    // directly under far more interleavings than one simulation sees.
+    use adprefetch::desim::WorkQueue;
+    for round in 0..200 {
+        let len = 1 + (round * 37) % 256;
+        let queue = WorkQueue::new(len);
+        let mut claimed: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|worker| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            // Alternate claim flavors across workers so
+                            // single-index and chunked claims race.
+                            if worker % 2 == 0 {
+                                match queue.claim() {
+                                    Some(i) => mine.push(i),
+                                    None => break,
+                                }
+                            } else {
+                                match queue.claim_chunk(3) {
+                                    Some(r) => mine.extend(r),
+                                    None => break,
+                                }
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        claimed.sort_unstable();
+        assert_eq!(
+            claimed,
+            (0..len).collect::<Vec<_>>(),
+            "round {round}: every index exactly once"
+        );
+    }
+}
+
+#[test]
+fn parallel_trace_generation_is_deterministic_across_thread_counts() {
+    // End-to-end version of the generator parity tests: the full
+    // pipeline (parallel generation feeding the sharded simulator) must
+    // be a pure function of (seed, config) at any thread count.
+    let pop = PopulationConfig::small_test(777);
+    let serial = pop.generate();
+    let cfg = SystemConfig::prefetch_default(5);
+    let want = Simulator::run_parallel(&cfg, &serial, 1);
+    for threads in [2, 4, 8] {
+        let trace = pop.generate_parallel(threads);
+        assert_eq!(serial, trace, "{threads}-thread generation diverged");
+        let got = Simulator::run_parallel(&cfg, &trace, threads);
+        assert_eq!(want, got, "{threads}-thread pipeline diverged");
+    }
+}
+
+#[test]
 fn different_seeds_actually_diverge() {
     // Guard against the degenerate way to pass the tests above: a
     // simulator that ignores its seed would also be "deterministic".
