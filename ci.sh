@@ -10,6 +10,15 @@
 # 1.5x events/s ratio (generous, to avoid flaky CI). On single-CPU hosts
 # the scaling check skips itself with exit 0: scaling is unobservable
 # there, and determinism is still covered by the smoke hash.
+#
+# The observability gate (`--obs-check`) replays the smoke workload with
+# metric collection on and off: the two reports must hash to the same
+# golden (metrics are a pure spectator), the exported JSON lines must
+# pass the schema validator, and collection overhead must stay under 3%.
+#
+# The full run also greps library crates for stray stdout/stderr printing:
+# all human-facing output belongs to the bench binaries, libraries speak
+# through return values and the metric registry.
 set -eux
 
 SMOKE_GOLDEN="smoke-hash: ba08fcf9274d6de0"
@@ -22,9 +31,30 @@ perf_scaling() {
     ./target/release/baseline --scaling-check
 }
 
+perf_obs() {
+    # --obs-check prints the smoke hash as its first line, in --smoke
+    # format, so metrics-on runs are held to the same golden. No pipe:
+    # the binary's exit code must reach `set -e`.
+    ./target/release/baseline --obs-check --metrics-out target/obs_smoke_metrics.jsonl \
+        > target/obs_check.out
+    cat target/obs_check.out
+    test "$(head -n 1 target/obs_check.out)" = "$SMOKE_GOLDEN"
+}
+
+no_library_prints() {
+    # Library crates must not print; the only print!/println!/eprintln!
+    # call sites allowed are the bench binaries (crates/bench/src/bin/).
+    if grep -rnE '(^|[^a-zA-Z_])(e?println!|print!)\(' crates/*/src \
+        --include='*.rs' | grep -v '^crates/bench/src/bin/'; then
+        echo "library crates must not print; route output through adpf-obs" >&2
+        exit 1
+    fi
+}
+
 if [ "${1:-}" = "quick" ]; then
     cargo build --release -p adpf-bench
     perf_smoke
+    perf_obs
     perf_scaling
     exit 0
 fi
@@ -33,5 +63,7 @@ cargo build --release --workspace
 cargo test -q --workspace --release
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+no_library_prints
 perf_smoke
+perf_obs
 perf_scaling

@@ -109,6 +109,10 @@ pub struct BaselineMeasurement {
     pub events_per_sec: f64,
     /// `ads_placed / wall_s`.
     pub ads_placed_per_sec: f64,
+    /// Wall-clock cost of metric collection on the smoke workload, in
+    /// percent (observed vs plain run, min-of-N, clamped at zero). See
+    /// [`measure_obs_overhead`].
+    pub obs_overhead_pct: f64,
     /// FNV-1a hash of the canonical report bytes (determinism witness).
     pub report_hash: u64,
 }
@@ -122,6 +126,7 @@ impl BaselineMeasurement {
                 "\"wall_s\":{:.4},\"gen_wall_s\":{:.4},",
                 "\"events\":{},\"events_per_sec\":{:.0},",
                 "\"ads_placed\":{},\"ads_placed_per_sec\":{:.0},",
+                "\"obs_overhead_pct\":{:.2},",
                 "\"report_hash\":\"{:016x}\"}}"
             ),
             self.label,
@@ -133,6 +138,7 @@ impl BaselineMeasurement {
             self.events_per_sec,
             self.ads_placed,
             self.ads_placed_per_sec,
+            self.obs_overhead_pct,
             self.report_hash,
         )
     }
@@ -179,7 +185,64 @@ pub fn measurement_from(
         ads_placed,
         events_per_sec: events as f64 / denom,
         ads_placed_per_sec: ads_placed as f64 / denom,
+        obs_overhead_pct: 0.0,
         report_hash: report_hash(report),
+    }
+}
+
+/// Result of [`measure_obs_overhead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsOverhead {
+    /// `(observed - plain) / plain` in percent, min-of-N per mode,
+    /// clamped at zero (timer noise on small workloads can make the
+    /// observed run measure *faster*).
+    pub overhead_pct: f64,
+    /// Hash of the plain run's report.
+    pub plain_hash: u64,
+    /// Hash of the observed run's report — must equal `plain_hash`.
+    pub observed_hash: u64,
+}
+
+/// Measures what metric collection costs: the smoke workload run plain
+/// vs through [`Simulator::run_parallel_observed`], single-threaded,
+/// taking the minimum wall time of `reps` repetitions per mode to shave
+/// scheduler noise. The two modes alternate order between repetitions so
+/// slow host-level drift (another process waking up mid-measurement)
+/// cannot bias one side. The two report hashes come back so callers can
+/// also assert that observation changed nothing.
+pub fn measure_obs_overhead(reps: usize) -> ObsOverhead {
+    let w = BaselineWorkload::smoke();
+    let trace = w.trace();
+    let cfg = w.config();
+    let mut plain_best = f64::INFINITY;
+    let mut observed_best = f64::INFINITY;
+    let mut plain_hash = 0;
+    let mut observed_hash = 0;
+    let mut run_plain = |best: &mut f64| {
+        let t0 = Instant::now();
+        let r = Simulator::run_parallel(&cfg, &trace, 1);
+        *best = best.min(t0.elapsed().as_secs_f64());
+        plain_hash = report_hash(&r);
+    };
+    let mut run_observed = |best: &mut f64| {
+        let t0 = Instant::now();
+        let (r, _reg) = Simulator::run_parallel_observed(&cfg, &trace, 1);
+        *best = best.min(t0.elapsed().as_secs_f64());
+        observed_hash = report_hash(&r);
+    };
+    for rep in 0..reps.max(1) {
+        if rep % 2 == 0 {
+            run_plain(&mut plain_best);
+            run_observed(&mut observed_best);
+        } else {
+            run_observed(&mut observed_best);
+            run_plain(&mut plain_best);
+        }
+    }
+    ObsOverhead {
+        overhead_pct: ((observed_best - plain_best) / plain_best.max(1e-9) * 100.0).max(0.0),
+        plain_hash,
+        observed_hash,
     }
 }
 
@@ -359,6 +422,7 @@ mod tests {
             ads_placed: 500,
             events_per_sec: 800.0,
             ads_placed_per_sec: 400.0,
+            obs_overhead_pct: 1.25,
             report_hash: 0xdead_beef,
         };
         let file = render_file(&[m.to_json_line()]);
@@ -405,9 +469,20 @@ mod tests {
             "events_per_sec",
             "ads_placed",
             "ads_placed_per_sec",
+            "obs_overhead_pct",
             "report_hash",
         ] {
             assert!(line.contains(&format!("\"{key}\":")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn obs_overhead_compares_identical_reports() {
+        let o = measure_obs_overhead(2);
+        assert_eq!(
+            o.plain_hash, o.observed_hash,
+            "observation must not change the smoke report"
+        );
+        assert!(o.overhead_pct >= 0.0, "overhead is clamped at zero");
     }
 }

@@ -7,6 +7,7 @@
 //! baseline --label post --threads-list 1,2,4,8
 //! baseline --smoke                        # CI gate: print the smoke report hash
 //! baseline --scaling-check                # CI gate: 4 threads must beat 1 thread
+//! baseline --obs-check --metrics-out m.jsonl  # CI gate: metrics change nothing
 //! ```
 //!
 //! `--smoke` runs the small fixed-seed workload at 1 and 4 threads,
@@ -19,13 +20,30 @@
 //! generous bound chosen to avoid flaky CI) with identical report hashes.
 //! On hosts exposing fewer than 2 CPUs the check is skipped with exit
 //! code 0 — thread scaling is unobservable there, not broken.
+//!
+//! `--obs-check` verifies that metric collection is a pure spectator: the
+//! smoke workload must hash identically with metrics on and off (the
+//! hash is printed first, in `--smoke` format, so ci.sh compares it to
+//! the same golden), collection overhead must stay under 3%, and with
+//! `--metrics-out PATH` the exported JSON lines must pass the schema
+//! validator after a round trip through the filesystem.
 
 use std::process::ExitCode;
 
-use adpf_bench::baseline::{append_to_file, measure, BaselineWorkload};
+use adpf_bench::baseline::{append_to_file, measure, measure_obs_overhead, BaselineWorkload};
+use adpf_core::Simulator;
+use adpf_obs::{to_json_lines, validate_json_lines};
 
 /// Minimum 4-thread / 1-thread events/s ratio `--scaling-check` accepts.
 const SCALING_FLOOR: f64 = 1.5;
+
+/// Maximum metric-collection overhead `--obs-check` accepts, in percent.
+const OBS_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
+/// Repetitions per mode when timing observation overhead; the minimum
+/// wall time across reps is compared, which suppresses scheduler noise.
+/// Nine reps keep the gate stable on busy single-CPU CI hosts.
+const OBS_REPS: usize = 9;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +52,8 @@ fn main() -> ExitCode {
     let mut threads_list = vec![1usize, 2, 4, 8];
     let mut smoke = false;
     let mut scaling_check = false;
+    let mut obs_check = false;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,14 +65,18 @@ fn main() -> ExitCode {
                 scaling_check = true;
                 i += 1;
             }
+            "--obs-check" => {
+                obs_check = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: baseline [--smoke] [--scaling-check] [--label NAME] [--out PATH] \
-                     [--threads-list 1,2,4,8]"
+                    "usage: baseline [--smoke] [--scaling-check] [--obs-check] [--label NAME] \
+                     [--out PATH] [--metrics-out PATH] [--threads-list 1,2,4,8]"
                 );
                 return ExitCode::SUCCESS;
             }
-            flag @ ("--label" | "--out" | "--threads-list") => {
+            flag @ ("--label" | "--out" | "--threads-list" | "--metrics-out") => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("flag `{flag}` is missing its value");
                     return ExitCode::FAILURE;
@@ -60,6 +84,7 @@ fn main() -> ExitCode {
                 match flag {
                     "--label" => label = value.clone(),
                     "--out" => out = value.clone(),
+                    "--metrics-out" => metrics_out = Some(value.clone()),
                     _ => {
                         let parsed: Result<Vec<usize>, _> =
                             value.split(',').map(str::parse).collect();
@@ -93,6 +118,57 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("smoke-hash: {:016x}", a.report_hash);
+        return ExitCode::SUCCESS;
+    }
+
+    if obs_check {
+        // Determinism first: metrics on vs off must hash identically.
+        // The smoke hash is printed as the FIRST line in the exact
+        // `--smoke` format so ci.sh can hold it to the same golden.
+        let o = measure_obs_overhead(OBS_REPS);
+        if o.plain_hash != o.observed_hash {
+            eprintln!(
+                "obs-check FAILED: plain hash {:016x} != observed hash {:016x}",
+                o.plain_hash, o.observed_hash
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("smoke-hash: {:016x}", o.plain_hash);
+        println!(
+            "obs-check: metric collection overhead {:.2}% (ceiling {OBS_OVERHEAD_CEILING_PCT}%)",
+            o.overhead_pct
+        );
+        if let Some(path) = &metrics_out {
+            let w = BaselineWorkload::smoke();
+            let (_, reg) = Simulator::run_parallel_observed(&w.config(), &w.trace(), 1);
+            if let Err(e) = std::fs::write(path, to_json_lines(&reg, "obs-check")) {
+                eprintln!("obs-check FAILED: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            // Validate what actually landed on disk, not the in-memory
+            // string: the file is what downstream tooling consumes.
+            let on_disk = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("obs-check FAILED: cannot re-read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match validate_json_lines(&on_disk) {
+                Ok(n) => println!("obs-check: {n} metric lines in {path} (schema ok)"),
+                Err(e) => {
+                    eprintln!("obs-check FAILED: {path} schema error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if o.overhead_pct > OBS_OVERHEAD_CEILING_PCT {
+            eprintln!(
+                "obs-check FAILED: overhead {:.2}% > {OBS_OVERHEAD_CEILING_PCT}%",
+                o.overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -131,9 +207,13 @@ fn main() -> ExitCode {
     }
 
     let w = BaselineWorkload::e14_style();
+    // Stamp every recorded entry with the smoke-workload observation
+    // overhead, so the perf trajectory tracks what metrics cost too.
+    let obs_overhead = measure_obs_overhead(OBS_REPS);
     let mut measurements = Vec::new();
     for &threads in &threads_list {
-        let m = measure(&w, threads, &label);
+        let mut m = measure(&w, threads, &label);
+        m.obs_overhead_pct = obs_overhead.overhead_pct;
         println!(
             "{} [{}] threads={}: {:.3}s sim + {:.3}s gen, {:.0} events/s, {:.0} ads/s \
              (hash {:016x})",

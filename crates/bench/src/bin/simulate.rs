@@ -20,10 +20,12 @@
 
 use std::fs::File;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use adpf_bench::cli::{build_config, parse_simulate_args, CliError, SimulateOpts};
 use adpf_core::{DeliveryMode, SimReport, Simulator};
 use adpf_energy::BatteryModel;
+use adpf_obs::{render_table, to_json_lines, MetricRegistry, ObsSink};
 use adpf_traces::{csv, PopulationConfig, Trace};
 
 fn usage() {
@@ -34,7 +36,8 @@ fn usage() {
          \x20                [--predictor session|day-hour|tod|markov|mean|oracle|zero]\n\
          \x20                [--planner greedy|fixed-K|none]\n\
          \x20                [--radio 3g|lte|wifi] [--seed N] [--threads N]\n\
-         \x20                [--netem off|flaky|degraded|blackout] [--netem-retries N]"
+         \x20                [--netem off|flaky|degraded|blackout] [--netem-retries N]\n\
+         \x20                [--metrics] [--metrics-out FILE]"
     );
 }
 
@@ -78,6 +81,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--metrics` prints the registry, `--metrics-out` exports it; either
+    // one turns collection on. Collection never changes reports — see the
+    // observability test suite.
+    let collect = opts.metrics || opts.metrics_out.is_some();
+    let pipeline = MetricRegistry::new();
+
+    let gen_start = collect.then(Instant::now);
     let trace = match load_trace(&opts) {
         Ok(t) => t,
         Err(e) => {
@@ -85,6 +95,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(t0) = gen_start {
+        pipeline.add_time_ns("phase.trace_gen", t0.elapsed().as_nanos() as u64);
+    }
     println!(
         "trace: {} users, {} sessions, {} days ({} threads)\n",
         trace.num_users(),
@@ -93,36 +106,62 @@ fn main() -> ExitCode {
         opts.threads
     );
 
-    let run = |mode: DeliveryMode| -> Result<SimReport, String> {
-        let cfg = build_config(&opts, mode)?;
-        Ok(Simulator::run_parallel(&cfg, &trace, opts.threads))
-    };
-    let result = match opts.mode.as_str() {
-        "realtime" => run(DeliveryMode::RealTime).map(|r| print_report(&r)),
-        "prefetch" => run(DeliveryMode::Prefetch).map(|r| print_report(&r)),
-        "both" => run(DeliveryMode::RealTime).and_then(|rt| {
-            print_report(&rt);
-            run(DeliveryMode::Prefetch).map(|pf| {
-                print_report(&pf);
-                println!(
-                    "energy savings {:.1}%   revenue loss {:.2}%   SLA violations {:.2}%",
-                    pf.energy_savings_vs(&rt) * 100.0,
-                    pf.revenue_loss_vs(&rt) * 100.0,
-                    pf.sla_violation_rate() * 100.0
-                );
-            })
-        }),
+    let modes: &[(DeliveryMode, &str)] = match opts.mode.as_str() {
+        "realtime" => &[(DeliveryMode::RealTime, "realtime")],
+        "prefetch" => &[(DeliveryMode::Prefetch, "prefetch")],
+        "both" => &[
+            (DeliveryMode::RealTime, "realtime"),
+            (DeliveryMode::Prefetch, "prefetch"),
+        ],
         other => {
             eprintln!("unknown mode `{other}`");
             usage();
             return ExitCode::FAILURE;
         }
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
-        }
+
+    let mut exports = String::new();
+    let mut reports = Vec::new();
+    for &(mode, label) in modes {
+        let report = match build_config(&opts, mode) {
+            Ok(cfg) if collect => {
+                let (r, reg) = Simulator::run_parallel_observed(&cfg, &trace, opts.threads);
+                if opts.metrics {
+                    println!("metrics ({label}):\n{}", render_table(&reg));
+                }
+                if opts.metrics_out.is_some() {
+                    exports.push_str(&to_json_lines(&reg, label));
+                }
+                r
+            }
+            Ok(cfg) => Simulator::run_parallel(&cfg, &trace, opts.threads),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_report(&report);
+        reports.push(report);
     }
+    if let [rt, pf] = reports.as_slice() {
+        println!(
+            "energy savings {:.1}%   revenue loss {:.2}%   SLA violations {:.2}%",
+            pf.energy_savings_vs(rt) * 100.0,
+            pf.revenue_loss_vs(rt) * 100.0,
+            pf.sla_violation_rate() * 100.0
+        );
+    }
+
+    if opts.metrics {
+        println!("metrics (pipeline):\n{}", render_table(&pipeline));
+    }
+    if let Some(path) = &opts.metrics_out {
+        exports.push_str(&to_json_lines(&pipeline, "pipeline"));
+        if let Err(e) = std::fs::write(path, &exports) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    ExitCode::SUCCESS
 }

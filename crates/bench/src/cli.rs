@@ -36,6 +36,11 @@ pub struct SimulateOpts {
     pub netem: String,
     /// Override of the netem retry budget (`None` keeps the preset's).
     pub netem_retries: Option<u32>,
+    /// Print the metric registry as a table after each run.
+    pub metrics: bool,
+    /// Write the metric registry as JSON lines to this path (implies
+    /// metric collection, independent of `metrics`).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for SimulateOpts {
@@ -54,6 +59,8 @@ impl Default for SimulateOpts {
             threads: 1,
             netem: "off".into(),
             netem_retries: None,
+            metrics: false,
+            metrics_out: None,
         }
     }
 }
@@ -93,6 +100,12 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
         if flag == "--help" || flag == "-h" {
             return Err(CliError::Help);
         }
+        // Boolean flags take no value; handle them before the value fetch.
+        if flag == "--metrics" {
+            o.metrics = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| invalid(format!("flag `{flag}` is missing its value")))?;
@@ -117,6 +130,7 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             "--netem-retries" => {
                 o.netem_retries = Some(value.parse().map_err(|_| parse_err("--netem-retries"))?)
             }
+            "--metrics-out" => o.metrics_out = Some(value.clone()),
             other => return Err(invalid(format!("unknown flag `{other}`"))),
         }
         i += 2;
@@ -309,6 +323,23 @@ mod tests {
         // reject instead.
         let o = parse_simulate_args(&argv("--netem-retries 2")).unwrap();
         assert!(build_config(&o, DeliveryMode::Prefetch).is_err());
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        // `--metrics` is a bare boolean: it must not swallow the flag
+        // that follows it.
+        let o = parse_simulate_args(&argv("--metrics --threads 4")).unwrap();
+        assert!(o.metrics);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.metrics_out, None);
+
+        let o = parse_simulate_args(&argv("--metrics-out out.jsonl")).unwrap();
+        assert!(!o.metrics);
+        assert_eq!(o.metrics_out.as_deref(), Some("out.jsonl"));
+
+        let o = parse_simulate_args(&[]).unwrap();
+        assert!(!o.metrics && o.metrics_out.is_none());
     }
 
     #[test]

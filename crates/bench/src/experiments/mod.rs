@@ -3,6 +3,7 @@
 pub mod mechanisms;
 pub mod motivation;
 pub mod netem;
+pub mod obs;
 pub mod prediction;
 pub mod scaling;
 pub mod system;
@@ -15,7 +16,7 @@ use crate::table::Table;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17",
+        "e15", "e16", "e17", "e18",
     ]
 }
 
@@ -54,6 +55,7 @@ pub fn run_experiment_threads(id: &str, scale: Scale, threads: usize) -> Option<
         // E17 sweeps its own thread counts; the caller's `threads` is
         // irrelevant to a scaling experiment.
         "e17" => Some(vec![scaling::e17_thread_scaling(scale)]),
+        "e18" => Some(vec![obs::e18_observability_breakdown(scale, threads)]),
         _ => None,
     }
 }
@@ -69,6 +71,6 @@ mod tests {
 
     #[test]
     fn ids_are_complete() {
-        assert_eq!(all_ids().len(), 17);
+        assert_eq!(all_ids().len(), 18);
     }
 }

@@ -2,6 +2,20 @@
 
 use adpf_auction::LedgerTotals;
 use adpf_energy::EnergyBreakdown;
+use adpf_obs::MetricRegistry;
+
+/// Registry names of the metrics the simulator maintains as the source
+/// of truth for [`NetemCounters`]. The report field is *derived* from
+/// these at finalize, never incremented directly.
+pub mod metric_names {
+    pub const NETEM_SYNC_FAILURES: &str = "netem.sync_failures";
+    pub const NETEM_RETRIES_SCHEDULED: &str = "netem.retries_scheduled";
+    pub const NETEM_RETRIES_SUCCEEDED: &str = "netem.retries_succeeded";
+    pub const NETEM_SYNCS_ABANDONED: &str = "netem.syncs_abandoned";
+    pub const NETEM_REALTIME_FAILURES: &str = "netem.realtime_failures";
+    pub const NETEM_ADS_RESCUED: &str = "netem.ads_rescued";
+    pub const NETEM_RESCUES_UNPLACED: &str = "netem.rescues_unplaced";
+}
 
 /// Counters produced by network-condition emulation. All zero when netem
 /// is disabled, so legacy (netem-less) reports compare and hash equal.
@@ -27,6 +41,22 @@ pub struct NetemCounters {
 }
 
 impl NetemCounters {
+    /// Reads the counters back out of a metric registry (the simulator's
+    /// source of truth — see [`metric_names`]). Metrics a run never
+    /// touched read as zero, so a netem-less registry derives the
+    /// default counters and legacy reports keep comparing equal.
+    pub fn from_metrics(reg: &MetricRegistry) -> Self {
+        NetemCounters {
+            sync_failures: reg.counter_value(metric_names::NETEM_SYNC_FAILURES),
+            retries_scheduled: reg.counter_value(metric_names::NETEM_RETRIES_SCHEDULED),
+            retries_succeeded: reg.counter_value(metric_names::NETEM_RETRIES_SUCCEEDED),
+            syncs_abandoned: reg.counter_value(metric_names::NETEM_SYNCS_ABANDONED),
+            realtime_failures: reg.counter_value(metric_names::NETEM_REALTIME_FAILURES),
+            ads_rescued: reg.counter_value(metric_names::NETEM_ADS_RESCUED),
+            rescues_unplaced: reg.counter_value(metric_names::NETEM_RESCUES_UNPLACED),
+        }
+    }
+
     /// Adds another run's counters into this one.
     pub fn absorb(&mut self, other: &NetemCounters) {
         self.sync_failures += other.sync_failures;
@@ -389,6 +419,48 @@ mod tests {
         assert_eq!(a.netem.retries_scheduled, 2);
         assert_eq!(a.netem.ads_rescued, 1);
         assert!(a.summary().contains("netem"));
+    }
+
+    #[test]
+    fn netem_absorb_equals_registry_merge() {
+        // The registry is the source of truth for NetemCounters; folding
+        // per-shard registries and then deriving must equal deriving
+        // per shard and absorbing — the equivalence the hash-stable
+        // SimReport field rests on.
+        use adpf_obs::ObsSink;
+
+        let fill = |values: [u64; 7]| {
+            let reg = MetricRegistry::new();
+            let names = [
+                metric_names::NETEM_SYNC_FAILURES,
+                metric_names::NETEM_RETRIES_SCHEDULED,
+                metric_names::NETEM_RETRIES_SUCCEEDED,
+                metric_names::NETEM_SYNCS_ABANDONED,
+                metric_names::NETEM_REALTIME_FAILURES,
+                metric_names::NETEM_ADS_RESCUED,
+                metric_names::NETEM_RESCUES_UNPLACED,
+            ];
+            for (name, v) in names.iter().zip(values) {
+                reg.add(name, v);
+            }
+            reg
+        };
+        let shard_a = fill([3, 2, 1, 0, 5, 1, 0]);
+        let shard_b = fill([4, 0, 0, 2, 1, 0, 3]);
+
+        let mut absorbed = NetemCounters::from_metrics(&shard_a);
+        absorbed.absorb(&NetemCounters::from_metrics(&shard_b));
+
+        let mut merged = MetricRegistry::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(absorbed, NetemCounters::from_metrics(&merged));
+
+        // An untouched registry derives the all-zero default.
+        assert_eq!(
+            NetemCounters::from_metrics(&MetricRegistry::new()),
+            NetemCounters::default()
+        );
     }
 
     #[test]

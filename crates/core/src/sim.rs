@@ -8,6 +8,7 @@ use adpf_auction::{
 use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime, WorkQueue};
 use adpf_energy::{EnergyBreakdown, Radio};
 use adpf_netem::NetworkModel;
+use adpf_obs::{MetricId, MetricRegistry, ObsSink};
 use adpf_overbooking::availability::{AvailabilityCache, ClientAvailability};
 use adpf_overbooking::planner::{ReplicationPlanner, PLAN_INLINE};
 use adpf_overbooking::reconcile::ReplicaTracker;
@@ -17,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::client::{CachedAd, ClientState};
 use crate::config::{DeliveryMode, SystemConfig};
-use crate::report::{NetemCounters, SimReport};
+use crate::report::{metric_names, NetemCounters, SimReport};
 
 /// Upper bound on ads sold at one sync, guarding against a pathological
 /// predictor output flooding the exchange.
@@ -105,6 +106,50 @@ impl ShardContext {
     }
 }
 
+/// Pre-resolved ids for the counters the simulator maintains on its hot
+/// path. Resolving once at construction keeps every increment an array
+/// index plus an integer add. All of these count simulated events, so
+/// they are deterministic and safe to keep always on — which is what
+/// lets `SimReport::netem` be *derived* from the registry while
+/// `--metrics` toggles only export and wall-clock spans.
+struct SimIds {
+    ev_slot: MetricId,
+    ev_sync: MetricId,
+    ev_retry: MetricId,
+    ev_sweep: MetricId,
+    pool_builds: MetricId,
+    pool_scored: MetricId,
+    pool_rescored: MetricId,
+    netem_sync_failures: MetricId,
+    netem_retries_scheduled: MetricId,
+    netem_retries_succeeded: MetricId,
+    netem_syncs_abandoned: MetricId,
+    netem_realtime_failures: MetricId,
+    netem_ads_rescued: MetricId,
+    netem_rescues_unplaced: MetricId,
+}
+
+impl SimIds {
+    fn resolve(reg: &MetricRegistry) -> Self {
+        SimIds {
+            ev_slot: reg.counter("sim.event.slot"),
+            ev_sync: reg.counter("sim.event.sync"),
+            ev_retry: reg.counter("sim.event.retry"),
+            ev_sweep: reg.counter("sim.event.expiry_sweep"),
+            pool_builds: reg.counter("sim.pool.builds"),
+            pool_scored: reg.counter("sim.pool.candidates_scored"),
+            pool_rescored: reg.counter("sim.pool.candidates_rescored"),
+            netem_sync_failures: reg.counter(metric_names::NETEM_SYNC_FAILURES),
+            netem_retries_scheduled: reg.counter(metric_names::NETEM_RETRIES_SCHEDULED),
+            netem_retries_succeeded: reg.counter(metric_names::NETEM_RETRIES_SUCCEEDED),
+            netem_syncs_abandoned: reg.counter(metric_names::NETEM_SYNCS_ABANDONED),
+            netem_realtime_failures: reg.counter(metric_names::NETEM_REALTIME_FAILURES),
+            netem_ads_rescued: reg.counter(metric_names::NETEM_ADS_RESCUED),
+            netem_rescues_unplaced: reg.counter(metric_names::NETEM_RESCUES_UNPLACED),
+        }
+    }
+}
+
 /// Simulation event alphabet.
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -144,7 +189,13 @@ pub struct Simulator {
     /// which case every link query short-circuits to "ideal" without
     /// consuming randomness — the legacy code path, bit for bit.
     net: Option<NetworkModel>,
-    netem: NetemCounters,
+    /// The run's metric registry. Always on: every value written during
+    /// the run is a count of simulated events, merged shard-order like
+    /// the report itself, so observability can never perturb outcomes.
+    /// `SimReport::netem` is derived from it at finalize.
+    obs: MetricRegistry,
+    /// Pre-resolved ids into `obs` for the hot-path counters.
+    mid: SimIds,
     /// Scratch for the rescue scan's due-ad list.
     scratch_due: Vec<(u64, SimTime)>,
     /// Memoized bursty-availability evaluator (exact, keyed on lambda
@@ -262,6 +313,8 @@ impl Simulator {
             .netem
             .enabled
             .then(|| NetworkModel::new(config.netem.clone(), n_clients, stream_seed));
+        let obs = MetricRegistry::new();
+        let mid = SimIds::resolve(&obs);
         Self {
             config,
             avail,
@@ -286,7 +339,8 @@ impl Simulator {
             fault_rng,
             syncs_dropped: 0,
             net,
-            netem: NetemCounters::default(),
+            obs,
+            mid,
             scratch_due: Vec::new(),
             impressions: 0,
             cache_hits: 0,
@@ -299,13 +353,35 @@ impl Simulator {
     }
 
     /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_observed().0
+    }
+
+    /// [`Simulator::run`] that also returns the run's metric registry.
+    ///
+    /// The registry is maintained unconditionally (its contents are pure
+    /// functions of simulated events), so this returns exactly the same
+    /// report as `run` — observability can be exported or dropped, never
+    /// felt.
+    pub fn run_observed(mut self) -> (SimReport, MetricRegistry) {
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::Slot(idx) => self.on_slot(now, idx),
-                Event::Sync(c) => self.on_sync(now, c),
-                Event::Retry { c, attempt } => self.on_retry(now, c, attempt),
-                Event::ExpirySweep => self.on_expiry_sweep(now),
+                Event::Slot(idx) => {
+                    self.obs.inc(self.mid.ev_slot, 1);
+                    self.on_slot(now, idx)
+                }
+                Event::Sync(c) => {
+                    self.obs.inc(self.mid.ev_sync, 1);
+                    self.on_sync(now, c)
+                }
+                Event::Retry { c, attempt } => {
+                    self.obs.inc(self.mid.ev_retry, 1);
+                    self.on_retry(now, c, attempt)
+                }
+                Event::ExpirySweep => {
+                    self.obs.inc(self.mid.ev_sweep, 1);
+                    self.on_expiry_sweep(now)
+                }
             }
         }
         self.finalize()
@@ -357,6 +433,42 @@ impl Simulator {
         threads: usize,
         shard_hook: impl Fn(usize) + Sync,
     ) -> SimReport {
+        Self::run_sharded_inner(config, trace, n_shards, threads, shard_hook, false).0
+    }
+
+    /// [`Simulator::run_parallel`] plus the merged metric registry.
+    ///
+    /// The report is bit-identical to [`Simulator::run_parallel`] on the
+    /// same inputs — observation adds wall-clock `phase.*` timers to the
+    /// registry but never touches simulation state. The registry merges
+    /// per-shard registries in shard order, mirroring the report merge.
+    pub fn run_parallel_observed(
+        config: &SystemConfig,
+        trace: &Trace,
+        threads: usize,
+    ) -> (SimReport, MetricRegistry) {
+        Self::run_sharded_observed(config, trace, default_shards(trace.num_users()), threads)
+    }
+
+    /// [`Simulator::run_sharded`] plus the merged metric registry.
+    pub fn run_sharded_observed(
+        config: &SystemConfig,
+        trace: &Trace,
+        n_shards: usize,
+        threads: usize,
+    ) -> (SimReport, MetricRegistry) {
+        let (report, reg) = Self::run_sharded_inner(config, trace, n_shards, threads, |_| {}, true);
+        (report, reg.expect("observed run always yields a registry"))
+    }
+
+    fn run_sharded_inner(
+        config: &SystemConfig,
+        trace: &Trace,
+        n_shards: usize,
+        threads: usize,
+        shard_hook: impl Fn(usize) + Sync,
+        observed: bool,
+    ) -> (SimReport, Option<MetricRegistry>) {
         let shards = trace.split_users(n_shards);
         let n = shards.len();
         let threads = threads.clamp(1, n);
@@ -387,15 +499,28 @@ impl Simulator {
         // users). Each result lands in its shard's slot; the claim order
         // and thread count are invisible after the shard-ordered merge.
         let queue = WorkQueue::new(n);
-        let results: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        type ShardResult = (SimReport, MetricRegistry);
+        let results: Vec<Mutex<Option<ShardResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     while let Some(i) = queue.claim() {
                         shard_hook(i);
-                        let report =
-                            Simulator::with_context(configs[i].clone(), &shards[i], &ctx).run();
-                        *results[i].lock().expect("shard slot poisoned") = Some(report);
+                        // Wall-clock spans are recorded only in observed
+                        // mode; they are Time metrics, which never feed
+                        // report hashes or determinism checks.
+                        let setup_start = observed.then(std::time::Instant::now);
+                        let sim = Simulator::with_context(configs[i].clone(), &shards[i], &ctx);
+                        if let Some(t0) = setup_start {
+                            sim.obs
+                                .add_time_ns("phase.shard_setup", t0.elapsed().as_nanos() as u64);
+                        }
+                        let loop_start = observed.then(std::time::Instant::now);
+                        let (report, reg) = sim.run_observed();
+                        if let Some(t0) = loop_start {
+                            reg.add_time_ns("phase.event_loop", t0.elapsed().as_nanos() as u64);
+                        }
+                        *results[i].lock().expect("shard slot poisoned") = Some((report, reg));
                     }
                 });
             }
@@ -403,17 +528,27 @@ impl Simulator {
 
         // Merge strictly in shard order: user ranges concatenate back to
         // the original indexing and the floating-point summation order is
-        // fixed regardless of which thread finished first.
+        // fixed regardless of which thread finished first. The registry
+        // merge follows the same shard order, so merged histograms and
+        // counters are as deterministic as the report itself.
+        let merge_start = observed.then(std::time::Instant::now);
         let mut merged = SimReport::empty();
         merged.reserve_users(total_users as usize);
+        let mut merged_reg = observed.then(MetricRegistry::new);
         for slot in results {
-            let report = slot
+            let (report, reg) = slot
                 .into_inner()
                 .expect("shard slot poisoned")
                 .expect("every shard reports");
             merged.merge(&report);
+            if let Some(m) = merged_reg.as_mut() {
+                m.merge(&reg);
+            }
         }
-        merged
+        if let (Some(m), Some(t0)) = (merged_reg.as_ref(), merge_start) {
+            m.add_time_ns("phase.merge", t0.elapsed().as_nanos() as u64);
+        }
+        (merged, merged_reg)
     }
 
     fn on_slot(&mut self, now: SimTime, idx: u32) {
@@ -441,7 +576,7 @@ impl Simulator {
                                 // The slot is gone; there is no later
                                 // moment to retry a display into. The
                                 // radio still pays for the timeout.
-                                self.netem.realtime_failures += 1;
+                                self.obs.inc(self.mid.netem_realtime_failures, 1);
                                 self.unfilled += 1;
                                 self.clients[ci].radio.stall(now, v.latency);
                             }
@@ -475,7 +610,7 @@ impl Simulator {
         if let Some(net) = self.net.as_mut() {
             let v = net.attempt(ci, now);
             if !v.ok {
-                self.netem.realtime_failures += 1;
+                self.obs.inc(self.mid.netem_realtime_failures, 1);
                 self.unfilled += 1;
                 self.clients[ci].radio.stall(now, v.latency);
                 return;
@@ -541,7 +676,7 @@ impl Simulator {
         let v = net.attempt(ci, now);
         if v.ok {
             if attempt > 0 {
-                self.netem.retries_succeeded += 1;
+                self.obs.inc(self.mid.netem_retries_succeeded, 1);
             }
             self.sync_body(ci, now, None, v.latency);
             return;
@@ -549,7 +684,7 @@ impl Simulator {
         // The handshake went out and nothing came back: the radio woke,
         // spent the uplink overhead plus the timeout, and got nothing —
         // the wasted-wakeup energy the tail model makes expensive.
-        self.netem.sync_failures += 1;
+        self.obs.inc(self.mid.netem_sync_failures, 1);
         self.clients[ci]
             .radio
             .transfer(now, 0, self.config.sync_overhead_bytes);
@@ -562,14 +697,14 @@ impl Simulator {
     fn schedule_retry(&mut self, ci: usize, now: SimTime, attempt: u32) {
         let Some(net) = self.net.as_mut() else { return };
         if attempt >= net.retry().max_retries {
-            self.netem.syncs_abandoned += 1;
+            self.obs.inc(self.mid.netem_syncs_abandoned, 1);
             return;
         }
         let at = now + net.backoff(ci, attempt);
         // Same scheduling bound as periodic syncs: one interval past the
         // horizon still flushes reports, anything later is pointless.
         if at <= self.horizon + self.config.prefetch_interval {
-            self.netem.retries_scheduled += 1;
+            self.obs.inc(self.mid.netem_retries_scheduled, 1);
             self.clients[ci].retry_pending = true;
             self.queue.push(
                 at,
@@ -834,6 +969,7 @@ impl Simulator {
     fn build_candidate_pool(&mut self, origin: usize, now: SimTime, deadline: SimTime) {
         self.scratch_cands.clear();
         self.scratch_meta.clear();
+        self.obs.inc(self.mid.pool_builds, 1);
         let n = self.clients.len();
         if n <= 1 {
             return;
@@ -868,6 +1004,8 @@ impl Simulator {
             });
             self.scratch_meta.push((lambda_j, mean_session_j));
         }
+        self.obs
+            .inc(self.mid.pool_scored, self.scratch_cands.len() as u64);
     }
 
     /// Re-scores the pool entries of freshly chosen replica holders
@@ -883,6 +1021,7 @@ impl Simulator {
                 self.scratch_cands[pos].prob =
                     self.avail
                         .display_probability_bursty(lambda, queued, mean_session);
+                self.obs.inc(self.mid.pool_rescored, 1);
             }
         }
     }
@@ -970,7 +1109,7 @@ impl Simulator {
             }
             match target {
                 Some(t) if self.tracker.rescue_to(ad, t) => {
-                    self.netem.ads_rescued += 1;
+                    self.obs.inc(self.mid.netem_ads_rescued, 1);
                     self.replicas_assigned += 1;
                     self.clients[t as usize].queued += 1;
                     self.clients[t as usize].outbox.push(CachedAd {
@@ -979,7 +1118,7 @@ impl Simulator {
                         replica: true,
                     });
                 }
-                _ => self.netem.rescues_unplaced += 1,
+                _ => self.obs.inc(self.mid.netem_rescues_unplaced, 1),
             }
         }
         self.scratch_due = due;
@@ -1002,7 +1141,7 @@ impl Simulator {
         }
     }
 
-    fn finalize(mut self) -> SimReport {
+    fn finalize(mut self) -> (SimReport, MetricRegistry) {
         // Flush reports that never made it to a final sync (trace ended
         // first); without this, genuinely displayed ads would be
         // misclassified as SLA violations.
@@ -1022,11 +1161,37 @@ impl Simulator {
         for c in &mut self.clients {
             let e = c.radio.finish(flush_at);
             per_user.push(e.total_j());
+            e.publish_residency(&self.obs);
             energy.absorb(&e);
         }
 
+        // Fold the domain-layer stats into the registry so one snapshot
+        // covers the whole stack. All of these count simulated events, so
+        // they stay deterministic regardless of whether metrics export is
+        // requested.
+        self.tracker.publish(&self.obs);
+        if let Some(net) = &self.net {
+            net.publish(&self.obs);
+        }
         let slots = self.slots.len() as u64;
-        SimReport {
+        self.obs.add("sim.slots", slots);
+        self.obs.add("sim.impressions", self.impressions);
+        self.obs.add("sim.cache_hits", self.cache_hits);
+        self.obs.add("sim.realtime_fetches", self.realtime_fetches);
+        self.obs.add("sim.unfilled", self.unfilled);
+        self.obs.add("sim.syncs", self.syncs);
+        self.obs.add("sim.syncs_skipped", self.syncs_skipped);
+        self.obs.add("sim.syncs_dropped", self.syncs_dropped);
+        self.obs
+            .add("sim.replicas_assigned", self.replicas_assigned);
+        self.obs.gauge_max("sim.users", self.clients.len() as u64);
+
+        // `SimReport::netem` is *derived* from the registry: the counters
+        // are the single source of truth, the report field only preserves
+        // the serialized shape (and hash inputs) of earlier revisions.
+        let netem = NetemCounters::from_metrics(&self.obs);
+
+        let report = SimReport {
             config: self.config.describe(),
             users: self.clients.len() as u32,
             days: self.days,
@@ -1040,10 +1205,11 @@ impl Simulator {
             syncs_skipped: self.syncs_skipped,
             syncs_dropped: self.syncs_dropped,
             replicas_assigned: self.replicas_assigned,
-            netem: self.netem,
+            netem,
             per_user_energy_j: per_user,
             ledger: self.ledger.totals(),
-        }
+        };
+        (report, self.obs)
     }
 }
 
@@ -1423,5 +1589,69 @@ mod tests {
             }
         });
         assert_eq!(baseline, stalled);
+    }
+
+    #[test]
+    fn observed_runs_match_plain_runs_at_every_thread_count() {
+        // `--metrics` must be invisible to simulation outcomes: the
+        // observed entry point returns the bit-identical report at any
+        // thread count, and the deterministic part of the registry (the
+        // simulated-event counts, with wall-clock timers dropped) is the
+        // same no matter how the shards were scheduled.
+        let t = trace();
+        let cfg = SystemConfig::prefetch_default(9);
+        let mut snapshots = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let plain = Simulator::run_parallel(&cfg, &t, threads);
+            let (observed, reg) = Simulator::run_parallel_observed(&cfg, &t, threads);
+            assert_eq!(
+                plain, observed,
+                "metrics changed the report at {threads} threads"
+            );
+            snapshots.push(reg.deterministic_snapshot());
+        }
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[0], snapshots[2]);
+    }
+
+    #[test]
+    fn registry_counters_agree_with_the_report() {
+        let t = trace();
+        let cfg = SystemConfig::prefetch_default(9);
+        let (r, reg) = Simulator::run_parallel_observed(&cfg, &t, 2);
+        assert_eq!(reg.counter_value("sim.event.slot"), r.slots);
+        assert_eq!(reg.counter_value("sim.slots"), r.slots);
+        assert_eq!(reg.counter_value("sim.impressions"), r.impressions);
+        assert_eq!(reg.counter_value("sim.syncs"), r.syncs);
+        assert_eq!(
+            reg.counter_value("sim.replicas_assigned"),
+            r.replicas_assigned
+        );
+        // Gauges merge by max, so the merged value is the largest shard
+        // population, not the total.
+        let users = reg.gauge_value("sim.users");
+        assert!(users > 0 && users <= u64::from(r.users));
+        // Observed sharded runs carry the pipeline-phase timers.
+        assert!(reg.time_ns("phase.event_loop") > 0);
+        // The energy residency histograms cover every simulated user.
+        let active = reg
+            .histogram_snapshot("energy.user.active_ms")
+            .expect("residency histogram published");
+        assert_eq!(active.count(), u64::from(r.users));
+    }
+
+    #[test]
+    fn unobserved_sequential_run_still_feeds_the_netem_report_field() {
+        // `SimReport::netem` is derived from the always-on registry, so
+        // the plain `run()` path (no metrics requested) must still
+        // produce populated counters under a degraded network.
+        let t = trace();
+        let mut cfg = SystemConfig::prefetch_default(17);
+        cfg.netem = adpf_netem::NetemConfig::flaky_cellular();
+        let r = Simulator::new(cfg, &t).run();
+        assert!(
+            r.netem.sync_failures > 0,
+            "degraded network should fail some syncs"
+        );
     }
 }

@@ -5,6 +5,8 @@
 //! follow-up events, which keeps borrowing simple and ordering deterministic
 //! (follow-ups are committed in the order the handler issued them).
 
+use adpf_obs::ObsSink;
+
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -16,6 +18,16 @@ pub trait Actor {
     /// Handles one event at simulated time `now`, optionally scheduling
     /// follow-up events through `sched`.
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Events that can label themselves for per-kind observability.
+///
+/// The returned name keys both the per-kind dispatch counter and the
+/// per-kind handler-time metric (same name, different metric kinds), so
+/// implementors provide exactly one static string per event variant,
+/// e.g. `"desim.event.tick"`.
+pub trait EventKind {
+    fn kind(&self) -> &'static str;
 }
 
 /// Collects follow-up events issued by a handler.
@@ -141,6 +153,46 @@ impl<A: Actor> Simulation<A> {
     }
 }
 
+impl<A: Actor> Simulation<A>
+where
+    A::Event: EventKind,
+{
+    /// [`step`](Self::step) with per-event-kind observability: counts
+    /// each dispatched event under its [`EventKind::kind`] name and,
+    /// when the sink is enabled, attributes handler wall time to the
+    /// same name. With [`NoopSink`](adpf_obs::NoopSink) this
+    /// monomorphizes to exactly the plain `step` path — the clock is
+    /// never read and the counter calls are empty inlined bodies.
+    pub fn step_observed<S: ObsSink>(&mut self, sink: &S) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue returned a past event");
+        self.now = time;
+        let kind = event.kind();
+        sink.add(kind, 1);
+        let start = sink.enabled().then(std::time::Instant::now);
+        let mut sched = Scheduler::new(time);
+        self.actor.handle(time, event, &mut sched);
+        if let Some(start) = start {
+            sink.add_time_ns(kind, start.elapsed().as_nanos() as u64);
+        }
+        for (t, e) in sched.pending {
+            self.queue.push(t, e);
+        }
+        self.processed += 1;
+        true
+    }
+
+    /// [`run_to_completion`](Self::run_to_completion) through
+    /// [`step_observed`](Self::step_observed).
+    pub fn run_to_completion_observed<S: ObsSink>(&mut self, sink: &S) -> u64 {
+        let start = self.processed;
+        while self.step_observed(sink) {}
+        self.processed - start
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +207,12 @@ mod tests {
 
     enum Ev {
         Tick,
+    }
+
+    impl EventKind for Ev {
+        fn kind(&self) -> &'static str {
+            "desim.event.tick"
+        }
     }
 
     impl Actor for Ticker {
@@ -230,6 +288,41 @@ mod tests {
             sim.actor().seen,
             vec![SimTime::from_secs(1), SimTime::from_secs(1)]
         );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_counts_kinds() {
+        use adpf_obs::{MetricRegistry, NoopSink};
+
+        let mk = || {
+            let mut sim = Simulation::new(Ticker {
+                period: SimDuration::from_secs(10),
+                remaining: 4,
+                fired_at: Vec::new(),
+            });
+            sim.schedule(SimTime::ZERO, Ev::Tick);
+            sim
+        };
+
+        let mut plain = mk();
+        plain.run_to_completion();
+
+        let reg = MetricRegistry::new();
+        let mut observed = mk();
+        let n = observed.run_to_completion_observed(&reg);
+        assert_eq!(n, 5);
+        assert_eq!(observed.actor().fired_at, plain.actor().fired_at);
+        assert_eq!(reg.counter_value("desim.event.tick"), 5);
+        // Handler time was attributed under the same name.
+        assert!(reg
+            .snapshot()
+            .iter()
+            .any(|m| m.name == "desim.event.tick" && m.kind == adpf_obs::MetricKind::Time));
+
+        // The no-op sink changes nothing about the simulation.
+        let mut noop = mk();
+        noop.run_to_completion_observed(&NoopSink);
+        assert_eq!(noop.actor().fired_at, plain.actor().fired_at);
     }
 
     #[test]

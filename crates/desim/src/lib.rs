@@ -38,7 +38,7 @@ pub mod smallvec;
 pub mod steal;
 pub mod time;
 
-pub use engine::{Actor, Scheduler, Simulation};
+pub use engine::{Actor, EventKind, Scheduler, Simulation};
 pub use queue::EventQueue;
 pub use smallvec::InlineVec;
 pub use steal::WorkQueue;

@@ -1,6 +1,7 @@
 //! Per-client radio state machine with energy accounting.
 
 use adpf_desim::{SimDuration, SimTime};
+use adpf_obs::ObsSink;
 
 use crate::profile::RadioProfile;
 use crate::timeline::{RadioState, Timeline};
@@ -27,6 +28,10 @@ pub struct EnergyBreakdown {
     pub bytes_up: u64,
     /// Total time with the radio out of idle.
     pub active_time: SimDuration,
+    /// Portion of `active_time` spent in idle→active promotions.
+    pub promo_time: SimDuration,
+    /// Portion of `active_time` spent in post-transfer tail states.
+    pub tail_time: SimDuration,
 }
 
 impl EnergyBreakdown {
@@ -56,6 +61,31 @@ impl EnergyBreakdown {
         self.bytes_down += other.bytes_down;
         self.bytes_up += other.bytes_up;
         self.active_time += other.active_time;
+        self.promo_time += other.promo_time;
+        self.tail_time += other.tail_time;
+    }
+
+    /// Time spent actively moving bytes (or stalled on a round trip):
+    /// active time minus the promotion and tail residencies.
+    pub fn transfer_time(&self) -> SimDuration {
+        SimDuration::from_millis(
+            self.active_time
+                .as_millis()
+                .saturating_sub(self.promo_time.as_millis())
+                .saturating_sub(self.tail_time.as_millis()),
+        )
+    }
+
+    /// Publishes this (per-client) breakdown as radio state-residency
+    /// histograms: one sample per state per client, in milliseconds,
+    /// plus per-client energy in millijoules. All inputs are simulated
+    /// quantities, so the resulting metrics are deterministic.
+    pub fn publish_residency<S: ObsSink>(&self, sink: &S) {
+        sink.observe("energy.user.promo_ms", self.promo_time.as_millis());
+        sink.observe("energy.user.xfer_ms", self.transfer_time().as_millis());
+        sink.observe("energy.user.tail_ms", self.tail_time.as_millis());
+        sink.observe("energy.user.active_ms", self.active_time.as_millis());
+        sink.observe("energy.user.total_mj", (self.total_j() * 1_000.0) as u64);
     }
 }
 
@@ -163,6 +193,7 @@ impl Radio {
             self.energy.promotion_j += self.profile.promotion_energy_j();
             self.energy.promotions += 1;
             self.energy.active_time += self.profile.promotion_delay;
+            self.energy.promo_time += self.profile.promotion_delay;
             if let Some(tl) = self.timeline.as_mut() {
                 tl.record(
                     start,
@@ -228,6 +259,7 @@ impl Radio {
             self.energy.promotion_j += self.profile.promotion_energy_j();
             self.energy.promotions += 1;
             self.energy.active_time += self.profile.promotion_delay;
+            self.energy.promo_time += self.profile.promotion_delay;
             if let Some(tl) = self.timeline.as_mut() {
                 tl.record(
                     start,
@@ -273,6 +305,7 @@ impl Radio {
         self.energy.tail_j += self.profile.tail_energy_for_gap_j(gap);
         let consumed = gap.min(self.profile.tail_duration());
         self.energy.active_time += consumed;
+        self.energy.tail_time += consumed;
         if let Some(tl) = self.timeline.as_mut() {
             let mut cursor = prev_end;
             let mut remaining = consumed;
@@ -469,6 +502,28 @@ mod tests {
         assert!(!s.promoted);
         assert_eq!(r.energy().tail_j, 0.0);
         assert_eq!(r.energy().transfers, 1);
+    }
+
+    #[test]
+    fn residency_splits_partition_active_time() {
+        let p = profiles::umts_3g();
+        let mut r = Radio::new(p);
+        r.transfer(SimTime::ZERO, 4_096, 256);
+        r.stall(SimTime::from_secs(120), SimDuration::from_secs(1));
+        let e = r.finish(SimTime::from_hours(1));
+        assert!(e.promo_time > SimDuration::ZERO);
+        assert!(e.tail_time > SimDuration::ZERO);
+        assert_eq!(
+            e.active_time.as_millis(),
+            e.promo_time.as_millis() + e.transfer_time().as_millis() + e.tail_time.as_millis()
+        );
+
+        let reg = adpf_obs::MetricRegistry::new();
+        e.publish_residency(&reg);
+        let h = reg.histogram_snapshot("energy.user.tail_ms").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), e.tail_time.as_millis());
+        assert!(reg.histogram_snapshot("energy.user.total_mj").is_some());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The per-simulation network model: one deterministic channel per client.
 
 use adpf_desim::{SimDuration, SimTime};
+use adpf_obs::{Histogram, ObsSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -177,11 +178,26 @@ impl ClientChannel {
     }
 }
 
+/// Always-on link statistics, folded into a metric registry at
+/// finalize via [`NetworkModel::publish`]. Everything here is a count
+/// or a simulated duration, so the published metrics are deterministic.
+#[derive(Debug, Clone, Default)]
+struct LinkStats {
+    attempts: u64,
+    failures: u64,
+    outage_blocked: u64,
+    by_state: [u64; 4],
+    backoffs: u64,
+    backoff_depth: Histogram,
+    backoff_delay_ms: Histogram,
+}
+
 /// The per-simulation network: one [`ClientChannel`] per client.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
     cfg: NetemConfig,
     channels: Vec<ClientChannel>,
+    stats: LinkStats,
 }
 
 impl NetworkModel {
@@ -194,7 +210,11 @@ impl NetworkModel {
         let channels = (0..n_clients)
             .map(|i| ClientChannel::new(&cfg, netem_seed, i as u64))
             .collect();
-        Self { cfg, channels }
+        Self {
+            cfg,
+            channels,
+            stats: LinkStats::default(),
+        }
     }
 
     /// The configuration this model runs.
@@ -209,7 +229,12 @@ impl NetworkModel {
 
     /// One round-trip attempt by `client` at `now`.
     pub fn attempt(&mut self, client: usize, now: SimTime) -> LinkVerdict {
-        self.channels[client].attempt(&self.cfg, now)
+        let v = self.channels[client].attempt(&self.cfg, now);
+        self.stats.attempts += 1;
+        self.stats.by_state[v.state as usize] += 1;
+        self.stats.failures += (!v.ok) as u64;
+        self.stats.outage_blocked += v.outage as u64;
+        v
     }
 
     /// Whether `client` could complete a round trip at `now` (no
@@ -226,7 +251,32 @@ impl NetworkModel {
     /// Jittered backoff delay for `client`'s retry number `attempt`.
     pub fn backoff(&mut self, client: usize, attempt: u32) -> SimDuration {
         let retry = self.cfg.retry;
-        self.channels[client].backoff(&retry, attempt)
+        let d = self.channels[client].backoff(&retry, attempt);
+        self.stats.backoffs += 1;
+        self.stats.backoff_depth.record(attempt as u64 + 1);
+        self.stats.backoff_delay_ms.record(d.as_millis());
+        d
+    }
+
+    /// Publishes accumulated link statistics: attempt/failure counts,
+    /// per-state attempt counts, and backoff depth/delay histograms.
+    pub fn publish<S: ObsSink>(&self, sink: &S) {
+        let s = &self.stats;
+        sink.add("netem.attempts", s.attempts);
+        sink.add("netem.attempt_failures", s.failures);
+        sink.add("netem.outage_blocked", s.outage_blocked);
+        for state in LinkState::ALL {
+            let name = match state {
+                LinkState::Wifi => "netem.attempts.wifi",
+                LinkState::CellGood => "netem.attempts.cell_good",
+                LinkState::CellPoor => "netem.attempts.cell_poor",
+                LinkState::Offline => "netem.attempts.offline",
+            };
+            sink.add(name, s.by_state[state as usize]);
+        }
+        sink.add("netem.backoffs", s.backoffs);
+        sink.merge_histogram("netem.backoff_depth", &s.backoff_depth);
+        sink.merge_histogram("netem.backoff_delay_ms", &s.backoff_delay_ms);
     }
 }
 
@@ -403,6 +453,45 @@ mod tests {
             let _ = probed.reachable(0, t);
             assert_eq!(probed.attempt(0, t), plain.attempt(0, t));
         }
+    }
+
+    #[test]
+    fn publish_reports_attempts_and_backoff_depths() {
+        let mut net = NetworkModel::new(NetemConfig::degraded(), 8, 21);
+        let mut fails = 0u64;
+        for t in probe_times() {
+            for c in 0..8 {
+                fails += (!net.attempt(c, t).ok) as u64;
+            }
+        }
+        net.backoff(0, 0);
+        net.backoff(0, 1);
+        net.backoff(1, 0);
+        let reg = adpf_obs::MetricRegistry::new();
+        net.publish(&reg);
+        let attempts = 200 * 8;
+        assert_eq!(reg.counter_value("netem.attempts"), attempts);
+        assert_eq!(reg.counter_value("netem.attempt_failures"), fails);
+        let by_state: u64 = [
+            "netem.attempts.wifi",
+            "netem.attempts.cell_good",
+            "netem.attempts.cell_poor",
+            "netem.attempts.offline",
+        ]
+        .iter()
+        .map(|n| reg.counter_value(n))
+        .sum();
+        assert_eq!(by_state, attempts);
+        assert_eq!(reg.counter_value("netem.backoffs"), 3);
+        let depth = reg.histogram_snapshot("netem.backoff_depth").unwrap();
+        assert_eq!(depth.count(), 3);
+        assert_eq!(depth.max(), 2); // deepest retry was attempt index 1
+        assert_eq!(
+            reg.histogram_snapshot("netem.backoff_delay_ms")
+                .unwrap()
+                .count(),
+            3
+        );
     }
 
     #[test]

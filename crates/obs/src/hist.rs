@@ -1,0 +1,223 @@
+//! Fixed log₂-bucket histogram.
+//!
+//! Bucket `0` holds the value zero; bucket `b > 0` holds values whose
+//! bit length is `b`, i.e. the half-open range `[2^(b-1), 2^b)`. The
+//! bucket array is a fixed `[u64; 65]`, so recording is branch-free
+//! (a `leading_zeros` and an indexed add) and merging is a bucket-wise
+//! integer sum — exactly associative and commutative, which is what the
+//! registry's determinism guarantee rests on.
+
+/// One bucket for zero plus one per possible bit length of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Fixed-size log-scale histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample: 0 for 0, otherwise the bit length.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of the values a bucket can hold.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value` in one update.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket-wise sum; min/max/count/sum combine exactly.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile sample
+    /// (`q` in `[0, 1]`). A log-bucket approximation: exact to within
+    /// one power of two.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(255), 8);
+        assert_eq!(Histogram::bucket_index(256), 9);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let b = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper_bound(b));
+            if b > 0 {
+                assert!(v > Histogram::bucket_upper_bound(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        h.record_n(7, 3);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 2 + 3 + 100 + 21);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 127.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_n_zero_is_a_noop() {
+        let mut h = Histogram::new();
+        h.record_n(42, 0);
+        assert_eq!(h, Histogram::new());
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for (i, v) in [0u64, 1, 5, 9, 1000, 65_536, 3].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            whole.record(*v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // And the other order.
+        let mut merged_rev = b;
+        merged_rev.merge(&a);
+        assert_eq!(merged_rev, whole);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, bound 15
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile_upper_bound(0.5), 15);
+        assert_eq!(h.quantile_upper_bound(0.99), 15);
+        assert_eq!(h.quantile_upper_bound(1.0), 1_000_000); // capped at max
+    }
+}

@@ -1,0 +1,89 @@
+//! The sink trait instrumented code writes through, and its no-op.
+
+use crate::hist::Histogram;
+
+/// Destination for metric updates keyed by static names.
+///
+/// Code that sits on a hot path should pre-resolve
+/// [`MetricId`](crate::MetricId)s against a concrete
+/// [`MetricRegistry`](crate::MetricRegistry) instead; this trait is for
+/// the seams — publish-at-finalize helpers and generic engine hooks —
+/// where the concrete sink is a type parameter and [`NoopSink`] must
+/// erase the instrumentation entirely.
+///
+/// All methods take `&self`: sinks are expected to use interior
+/// mutability so a long-lived [`Span`](crate::Span) borrow never locks
+/// out other updates.
+pub trait ObsSink {
+    /// Whether updates go anywhere. Callers may skip expensive
+    /// preparation (e.g. reading the wall clock) when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Add to a counter.
+    fn add(&self, name: &'static str, delta: u64);
+
+    /// Raise a high-water gauge to at least `value`.
+    fn gauge_max(&self, name: &'static str, value: u64);
+
+    /// Record one histogram sample.
+    fn observe(&self, name: &'static str, value: u64);
+
+    /// Record `n` identical histogram samples in one update.
+    fn observe_n(&self, name: &'static str, value: u64, n: u64);
+
+    /// Fold a pre-aggregated histogram into the named histogram.
+    fn merge_histogram(&self, name: &'static str, hist: &Histogram);
+
+    /// Add wall-clock nanoseconds to a time metric.
+    fn add_time_ns(&self, name: &'static str, nanos: u64);
+}
+
+/// The disabled sink: every method is an empty `#[inline]` body and
+/// `enabled()` is `false`, so instrumentation monomorphized against it
+/// compiles to nothing measurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl ObsSink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn add(&self, _name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    fn gauge_max(&self, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn observe(&self, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn observe_n(&self, _name: &'static str, _value: u64, _n: u64) {}
+
+    #[inline(always)]
+    fn merge_histogram(&self, _name: &'static str, _hist: &Histogram) {}
+
+    #[inline(always)]
+    fn add_time_ns(&self, _name: &'static str, _nanos: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.add("x", 1);
+        s.gauge_max("x", 1);
+        s.observe("x", 1);
+        s.observe_n("x", 1, 2);
+        s.merge_histogram("x", &Histogram::new());
+        s.add_time_ns("x", 1);
+    }
+}

@@ -47,4 +47,4 @@ pub use planner::{
     FixedFactorPlanner, GreedyPlanner, NoReplicationPlanner, Plan, ReplicationPlanner,
     SingleCopyPlanner,
 };
-pub use reconcile::{DisplayDisposition, ReplicaTracker};
+pub use reconcile::{DisplayDisposition, ReplicaTracker, TrackerStats};

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use crate::planner::PLAN_INLINE;
 use adpf_desim::{InlineVec, SimTime};
+use adpf_obs::ObsSink;
 
 /// Disposition of a reported display.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,12 +39,40 @@ struct AdReplicas {
     rescued: bool,
 }
 
+/// Lifetime totals of replica-pool churn and reconciliation outcomes.
+/// Pure counts of simulated events — deterministic by construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerStats {
+    /// Ads registered with the tracker.
+    pub ads_registered: u64,
+    /// Replica holders registered beyond the first per ad.
+    pub replicas_registered: u64,
+    /// Deadline rescues that added a holder.
+    pub rescues: u64,
+    /// Rescue attempts refused (untracked/displayed/already rescued/
+    /// duplicate holder).
+    pub rescues_refused: u64,
+    /// First displays (each queues cancellations for the other holders).
+    pub first_displays: u64,
+    /// Residual duplicate displays.
+    pub duplicate_displays: u64,
+    /// Displays reported for untracked ads.
+    pub unknown_displays: u64,
+    /// Cancellation hints queued for losing holders.
+    pub cancellations_queued: u64,
+    /// Ads removed after their deadline passed.
+    pub ads_removed: u64,
+    /// High-water mark of concurrently tracked ads.
+    pub peak_tracked: u64,
+}
+
 /// Tracks which clients hold replicas of which ads and queues
 /// cancellations after the first display.
 #[derive(Debug, Default)]
 pub struct ReplicaTracker {
     ads: HashMap<u64, AdReplicas>,
     pending_cancel: HashMap<u32, Vec<u64>>,
+    stats: TrackerStats,
 }
 
 impl ReplicaTracker {
@@ -62,6 +91,9 @@ impl ReplicaTracker {
                     deadline,
                     rescued: false,
                 });
+                self.stats.ads_registered += 1;
+                self.stats.replicas_registered += (holders.len() as u64).saturating_sub(1);
+                self.stats.peak_tracked = self.stats.peak_tracked.max(self.ads.len() as u64);
             }
             Entry::Occupied(_) => {
                 debug_assert!(false, "ad {ad} registered twice");
@@ -76,16 +108,19 @@ impl ReplicaTracker {
     /// it. A successful rescue marks the ad so later scans skip it.
     pub fn rescue_to(&mut self, ad: u64, client: u32) -> bool {
         let Some(entry) = self.ads.get_mut(&ad) else {
+            self.stats.rescues_refused += 1;
             return false;
         };
         if entry.displayed_by.is_some()
             || entry.rescued
             || entry.holders.as_slice().contains(&client)
         {
+            self.stats.rescues_refused += 1;
             return false;
         }
         entry.holders.push(client);
         entry.rescued = true;
+        self.stats.rescues += 1;
         true
     }
 
@@ -106,6 +141,7 @@ impl ReplicaTracker {
     /// cancellations for every other holder.
     pub fn record_display(&mut self, ad: u64, client: u32) -> DisplayDisposition {
         let Some(entry) = self.ads.get_mut(&ad) else {
+            self.stats.unknown_displays += 1;
             return DisplayDisposition::Unknown;
         };
         match entry.displayed_by {
@@ -114,11 +150,16 @@ impl ReplicaTracker {
                 for &h in &entry.holders {
                     if h != client {
                         self.pending_cancel.entry(h).or_default().push(ad);
+                        self.stats.cancellations_queued += 1;
                     }
                 }
+                self.stats.first_displays += 1;
                 DisplayDisposition::First
             }
-            Some(_) => DisplayDisposition::Duplicate,
+            Some(_) => {
+                self.stats.duplicate_displays += 1;
+                DisplayDisposition::Duplicate
+            }
         }
     }
 
@@ -131,7 +172,29 @@ impl ReplicaTracker {
     /// Stops tracking an ad (its deadline passed); outstanding queued
     /// cancellations remain valid hints for holders.
     pub fn remove(&mut self, ad: u64) {
-        self.ads.remove(&ad);
+        if self.ads.remove(&ad).is_some() {
+            self.stats.ads_removed += 1;
+        }
+    }
+
+    /// Lifetime churn and reconciliation totals.
+    pub fn stats(&self) -> &TrackerStats {
+        &self.stats
+    }
+
+    /// Publishes churn counters and the tracked-ads high-water mark.
+    pub fn publish<S: ObsSink>(&self, sink: &S) {
+        let s = &self.stats;
+        sink.add("overbooking.ads_registered", s.ads_registered);
+        sink.add("overbooking.replicas_registered", s.replicas_registered);
+        sink.add("overbooking.rescues", s.rescues);
+        sink.add("overbooking.rescues_refused", s.rescues_refused);
+        sink.add("overbooking.first_displays", s.first_displays);
+        sink.add("overbooking.duplicate_displays", s.duplicate_displays);
+        sink.add("overbooking.unknown_displays", s.unknown_displays);
+        sink.add("overbooking.cancellations_queued", s.cancellations_queued);
+        sink.add("overbooking.ads_removed", s.ads_removed);
+        sink.gauge_max("overbooking.peak_tracked", s.peak_tracked);
     }
 
     /// Clients holding replicas of `ad`, if tracked.
@@ -256,6 +319,36 @@ mod tests {
         t.register(4, &[4], SimTime::from_mins(30));
         t.undisplayed_due_before(SimTime::from_mins(90), &mut due);
         assert_eq!(due, vec![(4, SimTime::from_mins(30))]);
+    }
+
+    #[test]
+    fn stats_track_churn_and_reconciliation() {
+        let mut t = ReplicaTracker::new();
+        t.register(1, &[1, 2, 3], SimTime::from_hours(1));
+        t.register(2, &[4], SimTime::from_hours(1));
+        assert!(t.rescue_to(2, 5));
+        assert!(!t.rescue_to(2, 6)); // second rescue refused
+        t.record_display(1, 2); // cancels holders 1 and 3
+        t.record_display(1, 3); // duplicate
+        t.record_display(99, 1); // unknown
+        t.remove(1);
+        t.remove(1); // double remove does not double count
+        let s = *t.stats();
+        assert_eq!(s.ads_registered, 2);
+        assert_eq!(s.replicas_registered, 2);
+        assert_eq!(s.rescues, 1);
+        assert_eq!(s.rescues_refused, 1);
+        assert_eq!(s.first_displays, 1);
+        assert_eq!(s.duplicate_displays, 1);
+        assert_eq!(s.unknown_displays, 1);
+        assert_eq!(s.cancellations_queued, 2);
+        assert_eq!(s.ads_removed, 1);
+        assert_eq!(s.peak_tracked, 2);
+
+        let reg = adpf_obs::MetricRegistry::new();
+        t.publish(&reg);
+        assert_eq!(reg.counter_value("overbooking.cancellations_queued"), 2);
+        assert_eq!(reg.gauge_value("overbooking.peak_tracked"), 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@ pub use adpf_core as core;
 pub use adpf_desim as desim;
 pub use adpf_energy as energy;
 pub use adpf_netem as netem;
+pub use adpf_obs as obs;
 pub use adpf_overbooking as overbooking;
 pub use adpf_prediction as prediction;
 pub use adpf_stats as stats;

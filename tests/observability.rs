@@ -1,0 +1,75 @@
+//! Observability must be a pure spectator: requesting metrics export
+//! (`--metrics` in the CLI, `run_parallel_observed` in the library)
+//! cannot change any simulated outcome, at any thread count, and the
+//! exported registry itself must be deterministic in everything except
+//! wall-clock timers.
+
+use adprefetch::core::{SimReport, Simulator, SystemConfig};
+use adprefetch::netem::NetemConfig;
+use adprefetch::obs::{to_json_lines, validate_json_lines, MetricRegistry};
+use adprefetch::traces::{PopulationConfig, Trace};
+
+fn small_trace() -> Trace {
+    PopulationConfig::small_test(777).generate()
+}
+
+fn observed(cfg: &SystemConfig, trace: &Trace, threads: usize) -> (SimReport, MetricRegistry) {
+    Simulator::run_parallel_observed(cfg, trace, threads)
+}
+
+#[test]
+fn metrics_on_and_off_agree_at_every_thread_count() {
+    let trace = small_trace();
+    let mut cfg = SystemConfig::prefetch_default(5);
+    cfg.netem = NetemConfig::flaky_cellular();
+    for threads in [1usize, 2, 8] {
+        let plain = Simulator::run_parallel(&cfg, &trace, threads);
+        let (with_metrics, _reg) = observed(&cfg, &trace, threads);
+        assert_eq!(
+            plain, with_metrics,
+            "metrics export changed the report at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn deterministic_registry_is_identical_across_thread_counts() {
+    let trace = small_trace();
+    let mut cfg = SystemConfig::prefetch_default(5);
+    cfg.netem = NetemConfig::flaky_cellular();
+    let (_, reg1) = observed(&cfg, &trace, 1);
+    let (_, reg8) = observed(&cfg, &trace, 8);
+    assert_eq!(
+        reg1.deterministic_snapshot(),
+        reg8.deterministic_snapshot(),
+        "simulated-event metrics must not depend on thread count"
+    );
+}
+
+#[test]
+fn registry_spans_the_whole_stack() {
+    // One merged registry carries desim-level event counts, netem link
+    // stats, overbooking churn, and energy residency histograms.
+    let trace = small_trace();
+    let mut cfg = SystemConfig::prefetch_default(5);
+    cfg.netem = NetemConfig::flaky_cellular();
+    let (r, reg) = observed(&cfg, &trace, 2);
+    assert_eq!(reg.counter_value("sim.event.slot"), r.slots);
+    assert!(reg.counter_value("netem.attempts") > 0);
+    assert_eq!(
+        reg.counter_value("overbooking.replicas_registered"),
+        r.replicas_assigned
+    );
+    assert!(reg.histogram_snapshot("energy.user.active_ms").is_some());
+    assert!(reg.time_ns("phase.event_loop") > 0);
+}
+
+#[test]
+fn exported_json_lines_round_trip_the_validator() {
+    let trace = small_trace();
+    let cfg = SystemConfig::prefetch_default(5);
+    let (_, reg) = observed(&cfg, &trace, 2);
+    let lines = to_json_lines(&reg, "itest");
+    let n = validate_json_lines(&lines).expect("export must satisfy its own schema");
+    assert_eq!(n, reg.len(), "one JSON line per metric");
+}
