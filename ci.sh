@@ -24,7 +24,19 @@ set -eux
 SMOKE_GOLDEN="smoke-hash: ba08fcf9274d6de0"
 
 perf_smoke() {
+    # The baseline binary runs with the marketplace off (the default), so
+    # this golden doubles as the marketplace-off bit-identity gate: the
+    # reactive-marketplace layer must be invisible until enabled.
     test "$(./target/release/baseline --smoke)" = "$SMOKE_GOLDEN"
+}
+
+marketplace_gates() {
+    # The reactive-marketplace suites: adversarial exchange properties,
+    # pacing convergence to the analytic optimum, and the library-level
+    # assertion that a marketplace-off run reproduces $SMOKE_GOLDEN.
+    cargo test -q --release -p adpf-auction \
+        --test prop_marketplace --test convergence
+    cargo test -q --release --test determinism marketplace_
 }
 
 perf_scaling() {
@@ -56,6 +68,7 @@ if [ "${1:-}" = "quick" ]; then
     perf_smoke
     perf_obs
     perf_scaling
+    marketplace_gates
     exit 0
 fi
 

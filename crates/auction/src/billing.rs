@@ -206,6 +206,7 @@ mod tests {
             id: AdId(id),
             campaign: CampaignId(1),
             price,
+            winning_bid: price,
             deadline: SimTime::from_hours(deadline_h),
             sold_at: SimTime::ZERO,
         }

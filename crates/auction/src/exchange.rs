@@ -1,10 +1,12 @@
 //! Sealed-bid second-price exchange.
 
 use adpf_desim::SimTime;
+use adpf_obs::ObsSink;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::campaign::{Campaign, CampaignId, PreparedBid};
+use crate::market::{CampaignType, MarketplaceConfig, PacingController, PriceFloors, PricingRule};
 
 /// Identifier of one sold ad (one paid impression commitment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,10 +76,29 @@ pub struct SoldAd {
     pub campaign: CampaignId,
     /// Clearing price (second price, discounted for advance sales).
     pub price: f64,
+    /// The winning bid the price was derived from (after any pacing
+    /// multiplier, before pricing rule, discount, and floor). Always
+    /// an upper bound on `price`.
+    pub winning_bid: f64,
     /// Display deadline.
     pub deadline: SimTime,
     /// When the ad was sold.
     pub sold_at: SimTime,
+}
+
+/// Per-campaign pacing state, index-aligned with the campaign catalog.
+#[derive(Debug, Clone)]
+struct Pacer {
+    ty: CampaignType,
+    ctl: PacingController,
+    /// Budget at configuration time (after any shard scaling): the total
+    /// the schedule spreads over the horizon.
+    schedule_budget: f64,
+    /// Net spend so far (debits minus refunds).
+    spent: f64,
+    /// Sum of clearing prices paid (target-CPC convergence input).
+    price_sum: f64,
+    wins: u64,
 }
 
 /// A sealed-bid second-price ad exchange.
@@ -104,6 +125,21 @@ pub struct Exchange {
     pub advance_discount: f64,
     auctions_run: u64,
     auctions_filled: u64,
+    /// Clearing-price rule. [`PricingRule::SecondPrice`] is the legacy
+    /// behaviour and the default.
+    pricing: PricingRule,
+    /// Per-slot-kind price floors; zero (the default) is the legacy
+    /// reserve-only path.
+    floors: PriceFloors,
+    /// Pacing state per campaign (`None` for fixed-CPC entries). Empty
+    /// unless a paced marketplace was configured — the off path never
+    /// touches it.
+    pacers: Vec<Option<Pacer>>,
+    floor_blocked: u64,
+    throttle_skips: u64,
+    pacing_ticks: u64,
+    pacing_adjustments: u64,
+    pacing_clamps: u64,
 }
 
 impl Exchange {
@@ -123,6 +159,118 @@ impl Exchange {
             advance_discount: Self::DEFAULT_ADVANCE_DISCOUNT,
             auctions_run: 0,
             auctions_filled: 0,
+            pricing: PricingRule::SecondPrice,
+            floors: PriceFloors::none(),
+            pacers: Vec::new(),
+            floor_blocked: 0,
+            throttle_skips: 0,
+            pacing_ticks: 0,
+            pacing_adjustments: 0,
+            pacing_clamps: 0,
+        }
+    }
+
+    /// Applies a marketplace configuration: pricing rule, floors, and —
+    /// for the paced regime — one pacing controller per reactive
+    /// campaign.
+    ///
+    /// Call *after* [`Exchange::scale_budgets`]: each pacer's budget
+    /// schedule is captured from the campaign's current budget, so a
+    /// shard paces its population share, not the global budget.
+    /// `types` must be index-aligned with the campaign catalog (see
+    /// `MarketplaceConfig::assign_types`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the marketplace is paced and `types` is not aligned
+    /// with the campaigns.
+    pub fn configure_marketplace(&mut self, mc: &MarketplaceConfig, types: &[CampaignType]) {
+        self.pricing = mc.pricing;
+        self.floors = mc.floors;
+        self.pacers = if mc.enabled && mc.paced {
+            assert_eq!(
+                types.len(),
+                self.campaigns.len(),
+                "campaign-type assignment misaligned with the catalog"
+            );
+            self.campaigns
+                .iter()
+                .zip(types)
+                .map(|(c, &ty)| match ty {
+                    CampaignType::FixedCpc => None,
+                    _ => Some(Pacer {
+                        ty,
+                        ctl: PacingController::new(mc.gain, mc.min_multiplier, mc.max_multiplier),
+                        schedule_budget: c.budget,
+                        spent: 0.0,
+                        price_sum: 0.0,
+                        wins: 0,
+                    }),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// Overrides the clearing-price rule.
+    pub fn set_pricing(&mut self, rule: PricingRule) {
+        self.pricing = rule;
+    }
+
+    /// Overrides the per-slot-kind price floors.
+    pub fn set_floors(&mut self, floors: PriceFloors) {
+        self.floors = floors;
+    }
+
+    /// Whether any campaign carries a pacing controller (i.e. pacing
+    /// ticks would do work).
+    pub fn has_pacers(&self) -> bool {
+        self.pacers.iter().any(Option::is_some)
+    }
+
+    /// Current bid multiplier per campaign (`1.0` for unpaced entries).
+    pub fn multipliers(&self) -> Vec<f64> {
+        (0..self.campaigns.len())
+            .map(|i| match self.pacers.get(i).and_then(Option::as_ref) {
+                Some(p) => p.ctl.value(),
+                None => 1.0,
+            })
+            .collect()
+    }
+
+    /// One pacing-controller update across all paced campaigns, at
+    /// simulated time `now` of a run ending at `horizon`.
+    ///
+    /// Budget-paced campaigns compare net spend against the linear
+    /// schedule `budget * now / horizon`; target-CPC campaigns compare
+    /// the average clearing price paid against their target. Iteration
+    /// is catalog order and the controller is deterministic, so tick
+    /// outcomes are a pure function of the preceding auction stream.
+    pub fn pacing_tick(&mut self, now: SimTime, horizon: SimTime) {
+        self.pacing_ticks += 1;
+        let frac = if horizon.as_millis() == 0 {
+            1.0
+        } else {
+            (now.as_millis() as f64 / horizon.as_millis() as f64).min(1.0)
+        };
+        for p in self.pacers.iter_mut().flatten() {
+            let (scheduled, actual) = match p.ty {
+                CampaignType::PacedBudget | CampaignType::PacedFixedCpc => {
+                    (p.schedule_budget * frac, p.spent)
+                }
+                CampaignType::TargetCpc { target_price } => {
+                    if p.wins == 0 {
+                        continue;
+                    }
+                    (target_price, p.price_sum / p.wins as f64)
+                }
+                CampaignType::FixedCpc => continue,
+            };
+            self.pacing_adjustments += 1;
+            if p.ctl.adjust(scheduled, actual) {
+                self.pacing_clamps += 1;
+            }
         }
     }
 
@@ -130,20 +278,47 @@ impl Exchange {
     /// the reserve.
     pub fn run_auction(&mut self, slot: &SlotOffer) -> Option<SoldAd> {
         self.auctions_run += 1;
+        // With no floors configured (the legacy path) `entry_floor` is
+        // exactly the reserve, so bid gating, the second-price seed, and
+        // every RNG draw below match the pre-marketplace exchange bit
+        // for bit.
+        let kind_floor = self.floors.for_kind(slot.kind);
+        let entry_floor = kind_floor.max(self.reserve_price);
         let mut best: Option<(usize, f64)> = None;
-        let mut second = self.reserve_price;
+        let mut second = entry_floor;
         for (i, c) in self.campaigns.iter().enumerate() {
             if !c.can_afford(c.bid.mean_price) {
                 continue;
             }
-            let Some(bid) = self.prepared[i].sample_paired(
+            let Some(mut bid) = self.prepared[i].sample_paired(
                 &mut self.rng,
                 &mut self.spare_normal,
                 slot.category,
             ) else {
                 continue;
             };
-            if bid < self.reserve_price || !c.can_afford(bid) {
+            if let Some(p) = self.pacers.get(i).and_then(Option::as_ref) {
+                match p.ty {
+                    CampaignType::PacedBudget | CampaignType::TargetCpc { .. } => {
+                        bid *= p.ctl.value();
+                    }
+                    CampaignType::PacedFixedCpc => {
+                        // Pace by throttling participation, bid untouched.
+                        // The throttle draw happens after the bid draw so
+                        // it extends — never reorders — the stream.
+                        let throttle = p.ctl.value().min(1.0);
+                        if throttle < 1.0 && self.rng.gen::<f64>() >= throttle {
+                            self.throttle_skips += 1;
+                            continue;
+                        }
+                    }
+                    CampaignType::FixedCpc => {}
+                }
+            }
+            if bid < entry_floor || !c.can_afford(bid) {
+                if bid >= self.reserve_price && bid < entry_floor {
+                    self.floor_blocked += 1;
+                }
                 continue;
             }
             match best {
@@ -155,12 +330,27 @@ impl Exchange {
                 Some(_) => second = second.max(bid),
             }
         }
-        let (winner_idx, _) = best?;
-        let mut price = second;
+        let (winner_idx, win_bid) = best?;
+        let mut price = match self.pricing {
+            PricingRule::SecondPrice => second,
+            PricingRule::FirstPrice => win_bid,
+        };
         if slot.kind == SlotKind::Advance {
             price *= self.advance_discount;
         }
+        // A configured floor is a hard lower bound on what clears,
+        // discount included. Never exceeds the winning bid: both price
+        // and floor are <= win_bid here. Zero floors (the legacy path)
+        // make this a no-op.
+        if price < kind_floor {
+            price = kind_floor;
+        }
         self.campaigns[winner_idx].debit(price);
+        if let Some(p) = self.pacers.get_mut(winner_idx).and_then(Option::as_mut) {
+            p.spent += price;
+            p.price_sum += price;
+            p.wins += 1;
+        }
         self.auctions_filled += 1;
         let id = AdId(self.next_ad);
         self.next_ad += 1;
@@ -168,6 +358,7 @@ impl Exchange {
             id,
             campaign: self.campaigns[winner_idx].id,
             price,
+            winning_bid: win_bid,
             deadline: slot.deadline,
             sold_at: slot.at,
         })
@@ -208,11 +399,38 @@ impl Exchange {
         self.spare_normal = None;
     }
 
-    /// Refunds a campaign after an SLA expiration.
+    /// Refunds a campaign after an SLA expiration. Net spend drops with
+    /// the refund, so pacing schedules see refunded budget as available
+    /// again.
     pub fn refund(&mut self, campaign: CampaignId, price: f64) {
-        if let Some(c) = self.campaigns.iter_mut().find(|c| c.id == campaign) {
-            c.credit(price);
+        if let Some(i) = self.campaigns.iter().position(|c| c.id == campaign) {
+            self.campaigns[i].credit(price);
+            if let Some(p) = self.pacers.get_mut(i).and_then(Option::as_mut) {
+                p.spent -= price;
+            }
         }
+    }
+
+    /// Folds the exchange's counters into a metric sink (`auction.*` /
+    /// `pacing.*`). Every value is a count of simulated events, so the
+    /// published metrics are deterministic.
+    pub fn publish<S: ObsSink>(&self, sink: &S) {
+        sink.add("auction.auctions", self.auctions_run);
+        sink.add("auction.filled", self.auctions_filled);
+        sink.add("auction.floor_blocked_bids", self.floor_blocked);
+        sink.add("pacing.ticks", self.pacing_ticks);
+        sink.add("pacing.adjustments", self.pacing_adjustments);
+        sink.add("pacing.clamps", self.pacing_clamps);
+        sink.add("pacing.throttle_skips", self.throttle_skips);
+        if self.has_pacers() {
+            let max = self.multipliers().into_iter().fold(0.0f64, f64::max);
+            sink.gauge_max("pacing.multiplier_max_milli", (max * 1000.0).round() as u64);
+        }
+    }
+
+    /// Auctions where a price floor (above the reserve) excluded a bid.
+    pub fn floor_blocked_bids(&self) -> u64 {
+        self.floor_blocked
     }
 
     /// Number of auctions run so far.

@@ -17,6 +17,10 @@
 //! - [`billing`]: a per-ad ledger that bills the first confirmed
 //!   impression, tracks duplicate displays from replication, and records
 //!   SLA expirations (advance-sold ads never shown by their deadline).
+//! - [`market`]: the opt-in reactive marketplace layer — campaign types
+//!   with proportional pacing controllers, per-slot-kind price floors,
+//!   and a first-price/second-price switch. Off by default; the static
+//!   exchange above is the paper's model.
 //!
 //! # Examples
 //!
@@ -32,7 +36,9 @@
 pub mod billing;
 pub mod campaign;
 pub mod exchange;
+pub mod market;
 
 pub use billing::{AdState, ImpressionOutcome, Ledger, LedgerTotals};
 pub use campaign::{BidModel, Campaign, CampaignCatalog, CampaignId, PreparedBid};
 pub use exchange::{AdId, Exchange, SlotKind, SlotOffer, SoldAd};
+pub use market::{CampaignType, MarketplaceConfig, PacingController, PriceFloors, PricingRule};

@@ -1,0 +1,145 @@
+//! Pacing-convergence golden test.
+//!
+//! On a synthetic constant-supply auction stream the proportional pacing
+//! controller has a closed-form fixed point: a lone budget-paced bidder
+//! with (near-)constant bid `b`, `S` auctions per tick, `H` ticks, and
+//! budget `B` under first-price clearing spends `m * S * b` per tick, so
+//! the multiplier that exactly exhausts the budget on schedule is
+//!
+//! ```text
+//! m* = B / (H * S * b)
+//! ```
+//!
+//! The suite drives the exchange directly (no simulator) and checks that
+//! the controller actually lands there: multiplier within tolerance of
+//! `m*`, total spend within 1% of budget, bitwise-reproducible per seed,
+//! and consistent under budget scaling (the sharding transform).
+
+use adpf_auction::{
+    BidModel, Campaign, CampaignId, CampaignType, Exchange, MarketplaceConfig, PricingRule,
+    SlotOffer,
+};
+use adpf_desim::SimTime;
+
+/// Ticks in the run (one per simulated hour).
+const TICKS: u64 = 240;
+/// Auctions per tick (constant supply).
+const AUCTIONS_PER_TICK: u64 = 40;
+/// The bidder's (near-)constant bid.
+const BID: f64 = 0.002;
+/// Optimal multiplier the budget is chosen to imply.
+const M_STAR: f64 = 0.8;
+
+fn budget_for(m_star: f64) -> f64 {
+    m_star * TICKS as f64 * AUCTIONS_PER_TICK as f64 * BID
+}
+
+/// Runs the synthetic constant-supply stream; returns the converged
+/// multiplier (mean over the last quarter of the run — the proportional
+/// controller oscillates around its fixed point, so a single endpoint
+/// sample aliases the swing) and total spend.
+fn run_paced(seed: u64, budget_scale: f64) -> (f64, f64) {
+    let budget = budget_for(M_STAR);
+    let campaign = Campaign {
+        id: CampaignId(0),
+        budget,
+        // A tiny (but valid) cv makes every bid essentially `BID` while
+        // keeping the lognormal parameterization in-domain.
+        bid: BidModel {
+            mean_price: BID,
+            cv: 1e-6,
+            participation: 1.0,
+            target_category: None,
+        },
+    };
+    let mut ex = Exchange::new(vec![campaign], seed);
+    if budget_scale < 1.0 {
+        ex.scale_budgets(budget_scale);
+    }
+    let mut mc = MarketplaceConfig::paced();
+    // First price: the lone bidder pays its own (multiplied) bid, which
+    // is what gives the fixed point its closed form. Second price would
+    // clear at the reserve and decouple spend from the multiplier.
+    mc.pricing = PricingRule::FirstPrice;
+    ex.configure_marketplace(&mc, &[CampaignType::PacedBudget]);
+    let horizon = SimTime::from_hours(TICKS);
+    let start = ex.total_budget();
+    let tail_from = TICKS - TICKS / 4;
+    let mut tail_sum = 0.0;
+    let mut tail_n = 0u64;
+    for tick in 1..=TICKS {
+        let t = SimTime::from_hours(tick);
+        for _ in 0..AUCTIONS_PER_TICK {
+            ex.run_auction(&SlotOffer::realtime(t, None));
+        }
+        ex.pacing_tick(t, horizon);
+        if tick > tail_from {
+            tail_sum += ex.multipliers()[0];
+            tail_n += 1;
+        }
+    }
+    let spent = start - ex.total_budget();
+    (tail_sum / tail_n as f64, spent)
+}
+
+#[test]
+fn multiplier_converges_to_the_analytic_optimum() {
+    for seed in [1, 7, 2013] {
+        let (m, spent) = run_paced(seed, 1.0);
+        let budget = budget_for(M_STAR);
+        assert!(
+            (m - M_STAR).abs() / M_STAR < 0.10,
+            "seed {seed}: multiplier {m} not within 10% of m*={M_STAR}"
+        );
+        assert!(
+            (spent - budget).abs() / budget < 0.01,
+            "seed {seed}: spend {spent} not within 1% of budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn convergence_is_bitwise_reproducible_per_seed() {
+    for seed in [1, 7, 2013] {
+        let (m1, s1) = run_paced(seed, 1.0);
+        let (m2, s2) = run_paced(seed, 1.0);
+        assert_eq!(
+            m1.to_bits(),
+            m2.to_bits(),
+            "seed {seed}: multiplier drifted"
+        );
+        assert_eq!(s1.to_bits(), s2.to_bits(), "seed {seed}: spend drifted");
+    }
+}
+
+/// Scaling the budget by a shard fraction scales the fixed point with it:
+/// a shard holding half the budget against the same supply converges to
+/// `m*/2` and spends half. This is the invariant that lets each shard
+/// pace its population share independently.
+#[test]
+fn budget_scaling_scales_the_fixed_point() {
+    let (m, spent) = run_paced(1, 0.5);
+    let half_budget = budget_for(M_STAR) * 0.5;
+    let half_m = M_STAR * 0.5;
+    // The start point (1.0) is 2.5x this fixed point, so the residual
+    // oscillation at the end of the run is wider than in the unscaled
+    // case — hence the looser multiplier band; the spend check below
+    // stays at 1% and is the sharp assertion.
+    assert!(
+        (m - half_m).abs() / half_m < 0.15,
+        "multiplier {m} not within 15% of m*/2={half_m}"
+    );
+    assert!(
+        (spent - half_budget).abs() / half_budget < 0.01,
+        "spend {spent} not within 1% of half budget {half_budget}"
+    );
+}
+
+/// The controller must move: starting at 1.0 with m* = 0.8, a converged
+/// run ends visibly below the start, so a do-nothing controller (which
+/// would also "stay in clamps") fails here.
+#[test]
+fn controller_actually_adapts_from_its_starting_point() {
+    let (m, _) = run_paced(42, 1.0);
+    assert!(m < 0.95, "multiplier {m} never moved off its 1.0 start");
+}

@@ -62,6 +62,7 @@ proptest! {
                             id: adpf_auction::AdId(ad),
                             campaign: adpf_auction::CampaignId(1),
                             price: 0.001 + ad as f64 * 1e-5,
+                            winning_bid: 0.001 + ad as f64 * 1e-5,
                             deadline: SimTime::from_hours(hours % 48),
                             sold_at: SimTime::ZERO,
                         });

@@ -37,6 +37,8 @@ fn usage() {
          \x20                [--planner greedy|fixed-K|none]\n\
          \x20                [--radio 3g|lte|wifi] [--seed N] [--threads N]\n\
          \x20                [--netem off|flaky|degraded|blackout] [--netem-retries N]\n\
+         \x20                [--marketplace off|static|paced] [--pricing first|second]\n\
+         \x20                [--floor PRICE]\n\
          \x20                [--metrics] [--metrics-out FILE]"
     );
 }

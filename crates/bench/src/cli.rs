@@ -1,6 +1,7 @@
 //! Argument parsing for the `simulate` binary, split out of the binary so
 //! the parser is unit-testable (no process exit, no I/O).
 
+use adpf_auction::{MarketplaceConfig, PriceFloors, PricingRule};
 use adpf_core::{DeliveryMode, PlannerKind, SystemConfig};
 use adpf_desim::SimDuration;
 use adpf_energy::profiles;
@@ -36,6 +37,14 @@ pub struct SimulateOpts {
     pub netem: String,
     /// Override of the netem retry budget (`None` keeps the preset's).
     pub netem_retries: Option<u32>,
+    /// Marketplace regime (`off`, `static`, `paced`).
+    pub marketplace: String,
+    /// Override of the pricing rule (`first`, `second`; `None` keeps the
+    /// regime's default). Requires `--marketplace` other than `off`.
+    pub pricing: Option<String>,
+    /// Uniform price floor for both slot kinds (`None` = no floor).
+    /// Requires `--marketplace` other than `off`.
+    pub floor: Option<f64>,
     /// Print the metric registry as a table after each run.
     pub metrics: bool,
     /// Write the metric registry as JSON lines to this path (implies
@@ -59,6 +68,9 @@ impl Default for SimulateOpts {
             threads: 1,
             netem: "off".into(),
             netem_retries: None,
+            marketplace: "off".into(),
+            pricing: None,
+            floor: None,
             metrics: false,
             metrics_out: None,
         }
@@ -130,6 +142,9 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             "--netem-retries" => {
                 o.netem_retries = Some(value.parse().map_err(|_| parse_err("--netem-retries"))?)
             }
+            "--marketplace" => o.marketplace = value.clone(),
+            "--pricing" => o.pricing = Some(value.clone()),
+            "--floor" => o.floor = Some(value.parse().map_err(|_| parse_err("--floor"))?),
             "--metrics-out" => o.metrics_out = Some(value.clone()),
             other => return Err(invalid(format!("unknown flag `{other}`"))),
         }
@@ -150,6 +165,15 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
         return Err(invalid(format!("unknown radio `{}`", o.radio)));
     }
     parse_netem(&o.netem).map_err(CliError::Invalid)?;
+    parse_marketplace(&o.marketplace).map_err(CliError::Invalid)?;
+    if let Some(p) = &o.pricing {
+        parse_pricing(p).map_err(CliError::Invalid)?;
+    }
+    if let Some(f) = o.floor {
+        if !(f.is_finite() && f >= 0.0) {
+            return Err(invalid(format!("--floor {f} must be finite and >= 0")));
+        }
+    }
     Ok(o)
 }
 
@@ -165,6 +189,25 @@ pub fn parse_netem(name: &str) -> Result<NetemConfig, String> {
             NetemConfig::flaky_cellular().with_outage(48, SimDuration::from_hours(6), 0.5)
         }
         other => return Err(format!("unknown netem preset `{other}`")),
+    })
+}
+
+/// Resolves a marketplace regime name.
+pub fn parse_marketplace(name: &str) -> Result<MarketplaceConfig, String> {
+    Ok(match name {
+        "off" => MarketplaceConfig::disabled(),
+        "static" => MarketplaceConfig::static_exchange(),
+        "paced" => MarketplaceConfig::paced(),
+        other => return Err(format!("unknown marketplace regime `{other}`")),
+    })
+}
+
+/// Resolves a pricing-rule name.
+pub fn parse_pricing(name: &str) -> Result<PricingRule, String> {
+    Ok(match name {
+        "first" => PricingRule::FirstPrice,
+        "second" => PricingRule::SecondPrice,
+        other => return Err(format!("unknown pricing rule `{other}`")),
     })
 }
 
@@ -221,6 +264,19 @@ pub fn build_config(o: &SimulateOpts, mode: DeliveryMode) -> Result<SystemConfig
             max_retries: n,
             ..cfg.netem.retry
         };
+    }
+    cfg.marketplace = parse_marketplace(&o.marketplace)?;
+    if let Some(p) = &o.pricing {
+        if !cfg.marketplace.enabled {
+            return Err("--pricing requires a --marketplace regime other than `off`".into());
+        }
+        cfg.marketplace.pricing = parse_pricing(p)?;
+    }
+    if let Some(f) = o.floor {
+        if !cfg.marketplace.enabled {
+            return Err("--floor requires a --marketplace regime other than `off`".into());
+        }
+        cfg.marketplace.floors = PriceFloors::uniform(f);
     }
     cfg.validate()?;
     Ok(cfg)
@@ -322,6 +378,41 @@ mod tests {
         // Retries without an active preset would silently do nothing;
         // reject instead.
         let o = parse_simulate_args(&argv("--netem-retries 2")).unwrap();
+        assert!(build_config(&o, DeliveryMode::Prefetch).is_err());
+    }
+
+    #[test]
+    fn marketplace_flags_parse_and_reach_the_config() {
+        let o = parse_simulate_args(&argv("--marketplace paced --pricing first --floor 0.0005"))
+            .unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(cfg.marketplace.enabled);
+        assert!(cfg.marketplace.paced);
+        assert_eq!(cfg.marketplace.pricing, PricingRule::FirstPrice);
+        assert_eq!(cfg.marketplace.floors, PriceFloors::uniform(0.0005));
+
+        // The static regime applies floors/pricing without pacing.
+        let o = parse_simulate_args(&argv("--marketplace static --pricing second")).unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(cfg.marketplace.enabled && !cfg.marketplace.paced);
+    }
+
+    #[test]
+    fn marketplace_defaults_off_and_bad_values_are_rejected() {
+        let o = parse_simulate_args(&[]).unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(!cfg.marketplace.enabled);
+
+        assert!(parse_simulate_args(&argv("--marketplace chaotic")).is_err());
+        assert!(parse_simulate_args(&argv("--pricing dutch")).is_err());
+        assert!(parse_simulate_args(&argv("--floor -0.1")).is_err());
+        assert!(parse_simulate_args(&argv("--floor cheap")).is_err());
+
+        // Pricing/floor overrides without an active marketplace would
+        // silently do nothing; reject instead, mirroring --netem-retries.
+        let o = parse_simulate_args(&argv("--pricing first")).unwrap();
+        assert!(build_config(&o, DeliveryMode::Prefetch).is_err());
+        let o = parse_simulate_args(&argv("--floor 0.001")).unwrap();
         assert!(build_config(&o, DeliveryMode::Prefetch).is_err());
     }
 

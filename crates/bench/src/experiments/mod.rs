@@ -1,5 +1,6 @@
 //! One module per experiment family; see DESIGN.md's experiment index.
 
+pub mod marketplace;
 pub mod mechanisms;
 pub mod motivation;
 pub mod netem;
@@ -16,7 +17,7 @@ use crate::table::Table;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18",
+        "e15", "e16", "e17", "e18", "e19",
     ]
 }
 
@@ -56,6 +57,7 @@ pub fn run_experiment_threads(id: &str, scale: Scale, threads: usize) -> Option<
         // irrelevant to a scaling experiment.
         "e17" => Some(vec![scaling::e17_thread_scaling(scale)]),
         "e18" => Some(vec![obs::e18_observability_breakdown(scale, threads)]),
+        "e19" => Some(vec![marketplace::e19_reactive_marketplace(scale, threads)]),
         _ => None,
     }
 }
@@ -71,6 +73,6 @@ mod tests {
 
     #[test]
     fn ids_are_complete() {
-        assert_eq!(all_ids().len(), 18);
+        assert_eq!(all_ids().len(), 19);
     }
 }

@@ -1,5 +1,6 @@
 //! System configuration.
 
+use adpf_auction::MarketplaceConfig;
 use adpf_desim::SimDuration;
 use adpf_energy::{profiles, RadioProfile};
 use adpf_netem::NetemConfig;
@@ -139,6 +140,13 @@ pub struct SystemConfig {
     /// no extra energy events), so reports are bit-identical to
     /// netem-less builds.
     pub netem: NetemConfig,
+    /// Reactive marketplace layer: campaign pacing controllers, price
+    /// floors, and the pricing rule. Disabled by default — the static
+    /// exchange the paper measured. When disabled the exchange takes
+    /// exactly the legacy code path (no extra RNG draws, multiplier 1.0,
+    /// floors 0.0, second-price), so reports are bit-identical to
+    /// pre-marketplace builds.
+    pub marketplace: MarketplaceConfig,
     /// Master seed (exchange randomness, candidate sampling).
     pub seed: u64,
     /// RNG stream selector for sharded runs. Stream `0` (the default)
@@ -184,6 +192,7 @@ impl SystemConfig {
             advance_discount: 1.0,
             sync_dropout: 0.0,
             netem: NetemConfig::disabled(),
+            marketplace: MarketplaceConfig::disabled(),
             seed,
             rng_stream: 0,
             budget_fraction: 1.0,
@@ -249,6 +258,9 @@ impl SystemConfig {
             return Err(format!("sync_dropout {} outside [0, 1]", self.sync_dropout));
         }
         self.netem.validate().map_err(|e| format!("netem: {e}"))?;
+        self.marketplace
+            .validate()
+            .map_err(|e| format!("marketplace: {e}"))?;
         if !(self.budget_fraction > 0.0 && self.budget_fraction <= 1.0) {
             return Err(format!(
                 "budget_fraction {} outside (0, 1]",
@@ -285,6 +297,21 @@ impl SystemConfig {
                 " netem={} retries={}",
                 self.netem.name, self.netem.retry.max_retries
             ));
+        }
+        // Same pattern for the marketplace: the off header is byte-
+        // identical to pre-marketplace builds, so golden hashes hold.
+        if self.marketplace.enabled {
+            d.push_str(&format!(
+                " marketplace={} pricing={}",
+                self.marketplace.name,
+                self.marketplace.pricing.label()
+            ));
+            if self.marketplace.floors.any() {
+                d.push_str(&format!(
+                    " floors={}/{}",
+                    self.marketplace.floors.realtime, self.marketplace.floors.advance
+                ));
+            }
         }
         d
     }
@@ -356,6 +383,33 @@ mod tests {
 
         c.netem.profiles[0].failure_prob = 2.0;
         assert!(c.validate().is_err(), "invalid netem must fail validation");
+    }
+
+    #[test]
+    fn marketplace_config_feeds_validation_and_describe() {
+        use adpf_auction::{PriceFloors, PricingRule};
+        let mut c = SystemConfig::prefetch_default(1);
+        let plain = c.describe();
+        assert!(
+            !plain.contains("marketplace"),
+            "marketplace-off header stays legacy"
+        );
+
+        c.marketplace = MarketplaceConfig::paced();
+        c.marketplace.pricing = PricingRule::FirstPrice;
+        c.marketplace.floors = PriceFloors::uniform(0.0005);
+        assert_eq!(c.validate(), Ok(()));
+        let d = c.describe();
+        assert!(d.contains("marketplace=paced"), "header: {d}");
+        assert!(d.contains("pricing=first"), "header: {d}");
+        assert!(d.contains("floors=0.0005/0.0005"), "header: {d}");
+        assert!(d.starts_with(&plain), "marketplace only appends: {d}");
+
+        c.marketplace.gain = -1.0;
+        assert!(
+            c.validate().is_err(),
+            "invalid marketplace must fail validation"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::sync::Mutex;
 
 use adpf_auction::{
-    AdId, Campaign, CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer,
+    AdId, Campaign, CampaignCatalog, CampaignType, Exchange, ImpressionOutcome, Ledger, SlotOffer,
 };
 use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime, WorkQueue};
 use adpf_energy::{EnergyBreakdown, Radio};
@@ -89,19 +89,29 @@ fn mix64(mut z: u64) -> u64 {
 /// trivial and intentionally stays inline.
 pub struct ShardContext {
     campaigns: Vec<Campaign>,
+    /// Marketplace campaign-type assignment, index-aligned with
+    /// `campaigns`. A pure function of the catalog order (see
+    /// `MarketplaceConfig::assign_types`), so every shard sees the
+    /// identical assignment — pacing-controller *placement* is shared
+    /// state, while controller *trajectories* live per shard in each
+    /// shard's exchange.
+    campaign_types: Vec<CampaignType>,
 }
 
 impl ShardContext {
     /// Builds the shared context for one run of `config`.
     pub fn new(config: &SystemConfig) -> Self {
+        let campaigns = CampaignCatalog::synthetic_with_targeting(
+            config.campaigns,
+            config.seed,
+            config.contextual_fraction,
+            config.contextual_premium,
+        )
+        .into_campaigns();
+        let campaign_types = config.marketplace.assign_types(&campaigns);
         Self {
-            campaigns: CampaignCatalog::synthetic_with_targeting(
-                config.campaigns,
-                config.seed,
-                config.contextual_fraction,
-                config.contextual_premium,
-            )
-            .into_campaigns(),
+            campaigns,
+            campaign_types,
         }
     }
 }
@@ -117,6 +127,7 @@ struct SimIds {
     ev_sync: MetricId,
     ev_retry: MetricId,
     ev_sweep: MetricId,
+    ev_pacing: MetricId,
     pool_builds: MetricId,
     pool_scored: MetricId,
     pool_rescored: MetricId,
@@ -136,6 +147,7 @@ impl SimIds {
             ev_sync: reg.counter("sim.event.sync"),
             ev_retry: reg.counter("sim.event.retry"),
             ev_sweep: reg.counter("sim.event.expiry_sweep"),
+            ev_pacing: reg.counter("sim.event.pacing"),
             pool_builds: reg.counter("sim.pool.builds"),
             pool_scored: reg.counter("sim.pool.candidates_scored"),
             pool_rescored: reg.counter("sim.pool.candidates_rescored"),
@@ -162,6 +174,9 @@ enum Event {
     Retry { c: u32, attempt: u32 },
     /// Periodic server-side expiry sweep.
     ExpirySweep,
+    /// Periodic pacing-controller update across all paced campaigns
+    /// (reactive marketplace only).
+    Pacing,
 }
 
 /// One configured simulation over one trace.
@@ -286,6 +301,12 @@ impl Simulator {
         exchange.advance_discount = config.advance_discount;
         exchange.reseed_bids(stream_seed);
         exchange.scale_budgets(config.budget_fraction);
+        if config.marketplace.enabled {
+            // After scale_budgets: pacing schedules must cover the
+            // shard's budget share, not the global budget, so the
+            // shards' combined paced spend targets the global schedule.
+            exchange.configure_marketplace(&config.marketplace, &ctx.campaign_types);
+        }
 
         let mut queue = EventQueue::with_capacity(slots.len() + clients.len() + 16);
         for (i, slot) in slots.iter().enumerate() {
@@ -302,6 +323,16 @@ impl Simulator {
                 queue.push(c.next_sync, Event::Sync(i as u32));
             }
             queue.push(SimTime::from_hours(1), Event::ExpirySweep);
+        }
+        if exchange.has_pacers() {
+            // Pacing applies in both delivery modes: the exchange paces
+            // real-time and advance sales alike. Marketplace-off (and
+            // static-marketplace) runs schedule no pacing events, so the
+            // legacy event stream is untouched.
+            queue.push(
+                SimTime::ZERO + config.marketplace.pacing_interval,
+                Event::Pacing,
+            );
         }
 
         let planner = config.planner.build();
@@ -381,6 +412,10 @@ impl Simulator {
                 Event::ExpirySweep => {
                     self.obs.inc(self.mid.ev_sweep, 1);
                     self.on_expiry_sweep(now)
+                }
+                Event::Pacing => {
+                    self.obs.inc(self.mid.ev_pacing, 1);
+                    self.on_pacing(now)
                 }
             }
         }
@@ -1061,6 +1096,19 @@ impl Simulator {
         }
     }
 
+    /// One pacing-controller update, rescheduling itself every
+    /// `marketplace.pacing_interval` until the trace horizon. Runs on
+    /// the simulation event queue, so controller updates happen at
+    /// deterministic simulated times interleaved with the auction
+    /// stream — identical at any thread count.
+    fn on_pacing(&mut self, now: SimTime) {
+        self.exchange.pacing_tick(now, self.horizon);
+        let next = now + self.config.marketplace.pacing_interval;
+        if next <= self.horizon {
+            self.queue.push(next, Event::Pacing);
+        }
+    }
+
     /// Deadline rescue (netem only): ads due within the next prefetch
     /// interval whose holders have *all* gone dark get one extra replica
     /// on a reachable client that will sync before the deadline. Without
@@ -1170,6 +1218,7 @@ impl Simulator {
         // they stay deterministic regardless of whether metrics export is
         // requested.
         self.tracker.publish(&self.obs);
+        self.exchange.publish(&self.obs);
         if let Some(net) = &self.net {
             net.publish(&self.obs);
         }

@@ -251,6 +251,97 @@ fn parallel_trace_generation_is_deterministic_across_thread_counts() {
     }
 }
 
+/// The marketplace-enabled configs the determinism suite covers: the
+/// paced second-price regime, and paced first-price with a realtime
+/// floor (every new mechanism live at once).
+fn marketplace_configs() -> Vec<SystemConfig> {
+    use adprefetch::auction::{MarketplaceConfig, PriceFloors, PricingRule};
+    let mut paced = SystemConfig::prefetch_default(5);
+    paced.marketplace = MarketplaceConfig::paced();
+    let mut floored_first = SystemConfig::prefetch_default(5);
+    floored_first.marketplace = MarketplaceConfig::paced();
+    floored_first.marketplace.pricing = PricingRule::FirstPrice;
+    floored_first.marketplace.floors = PriceFloors::uniform(0.0005);
+    vec![paced, floored_first]
+}
+
+#[test]
+fn marketplace_enabled_runs_are_bit_identical_across_threads() {
+    // The tentpole's determinism criterion: pacing-controller state lives
+    // per shard and ticks on the event queue at simulated times, so the
+    // merged report is a pure function of (config, trace) at any thread
+    // count.
+    let trace = small_trace();
+    for cfg in marketplace_configs() {
+        let t1 = Simulator::run_parallel(&cfg, &trace, 1);
+        let t2 = Simulator::run_parallel(&cfg, &trace, 2);
+        let t8 = Simulator::run_parallel(&cfg, &trace, 8);
+        assert!(
+            t1.ledger.sold > 0,
+            "marketplace {}: the market must be live in this check",
+            cfg.marketplace.name
+        );
+        assert_same_aggregates(
+            &t1,
+            &t2,
+            &format!("marketplace {} threads 1 vs 2", cfg.marketplace.name),
+        );
+        assert_same_aggregates(
+            &t1,
+            &t8,
+            &format!("marketplace {} threads 1 vs 8", cfg.marketplace.name),
+        );
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t8);
+    }
+}
+
+#[test]
+fn marketplace_runs_with_same_seed_twice_are_bit_identical() {
+    let trace = small_trace();
+    for cfg in marketplace_configs() {
+        let a = Simulator::new(cfg.clone(), &trace).run();
+        let b = Simulator::new(cfg.clone(), &trace).run();
+        assert_eq!(
+            a, b,
+            "marketplace {}: reruns must be identical",
+            cfg.marketplace.name
+        );
+    }
+}
+
+#[test]
+fn marketplace_actually_changes_outcomes_when_enabled() {
+    // Guard against the degenerate way to pass the off-path hash check: a
+    // marketplace layer that never engages would also leave the hash
+    // unchanged. Pacing must move revenue on the standard workload.
+    let trace = small_trace();
+    let off = Simulator::run_parallel(&SystemConfig::prefetch_default(5), &trace, 4);
+    let on = Simulator::run_parallel(&marketplace_configs()[0], &trace, 4);
+    assert_ne!(
+        off.ledger.revenue, on.ledger.revenue,
+        "enabling the paced marketplace should change auction outcomes"
+    );
+}
+
+#[test]
+fn marketplace_off_run_matches_the_committed_smoke_golden() {
+    // The CI smoke gate's hash, asserted from library code: the default
+    // (marketplace-off) pipeline must reproduce the committed golden
+    // exactly — the marketplace layer must be invisible until enabled.
+    // If a deliberate behaviour change moves this value, update ci.sh's
+    // SMOKE_GOLDEN alongside this constant.
+    use adpf_bench::baseline::{report_hash, BaselineWorkload};
+    const SMOKE_GOLDEN: u64 = 0xba08_fcf9_274d_6de0;
+    let wl = BaselineWorkload::smoke();
+    let report = Simulator::run_parallel(&wl.config(), &wl.trace(), 2);
+    assert_eq!(
+        report_hash(&report),
+        SMOKE_GOLDEN,
+        "marketplace-off smoke hash diverged from the committed golden"
+    );
+}
+
 #[test]
 fn different_seeds_actually_diverge() {
     // Guard against the degenerate way to pass the tests above: a
