@@ -16,6 +16,12 @@
 # golden (metrics are a pure spectator), the exported JSON lines must
 # pass the schema validator, and collection overhead must stay under 3%.
 #
+# The memory gate (`--mem-check`) streams a mid-size workload through the
+# bounded-memory pipeline and fails if peak RSS exceeds the ceiling
+# committed in the baseline binary — catching any change that quietly
+# re-materializes the full trace before sharding. Skips with exit 0 on
+# hosts without a readable /proc.
+#
 # The full run also greps library crates for stray stdout/stderr printing:
 # all human-facing output belongs to the bench binaries, libraries speak
 # through return values and the metric registry.
@@ -43,6 +49,10 @@ perf_scaling() {
     ./target/release/baseline --scaling-check
 }
 
+perf_mem() {
+    ./target/release/baseline --mem-check
+}
+
 perf_obs() {
     # --obs-check prints the smoke hash as its first line, in --smoke
     # format, so metrics-on runs are held to the same golden. No pipe:
@@ -68,6 +78,7 @@ if [ "${1:-}" = "quick" ]; then
     perf_smoke
     perf_obs
     perf_scaling
+    perf_mem
     marketplace_gates
     exit 0
 fi
@@ -80,3 +91,4 @@ no_library_prints
 perf_smoke
 perf_obs
 perf_scaling
+perf_mem

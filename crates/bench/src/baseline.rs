@@ -58,6 +58,64 @@ impl BaselineWorkload {
         }
     }
 
+    /// A population-scale workload for the streaming pipeline: too big
+    /// to measure comfortably materialized, routine when each shard
+    /// generates and consumes its own user range.
+    pub fn scale_100k() -> Self {
+        Self {
+            name: "scale-iphone-100k-2d",
+            users: 100_000,
+            days: 2,
+            trace_seed: 42,
+            config_seed: 1,
+        }
+    }
+
+    /// The million-user variant of [`BaselineWorkload::scale_100k`].
+    /// Streaming-only in practice: materializing this trace costs tens
+    /// of gigabytes, while the streaming pipeline holds one shard
+    /// (≈2k users) per worker thread.
+    pub fn scale_1m() -> Self {
+        Self {
+            name: "scale-iphone-1m-1d",
+            users: 1_000_000,
+            days: 1,
+            trace_seed: 42,
+            config_seed: 1,
+        }
+    }
+
+    /// The `--mem-check` gate workload: big enough that materializing
+    /// its full trace first would blow the gate's committed RSS
+    /// ceiling several times over, small enough to stream through in
+    /// seconds on a 1-CPU CI container.
+    pub fn mem_check() -> Self {
+        Self {
+            name: "memcheck-iphone-100k-1d",
+            users: 100_000,
+            days: 1,
+            trace_seed: 42,
+            config_seed: 1,
+        }
+    }
+
+    /// The workload's population config — the single source both
+    /// pipelines generate from. The materialized path calls
+    /// [`PopulationConfig::generate`]; the streaming path calls
+    /// [`PopulationConfig::generate_shard`] per shard. Both produce the
+    /// same users, so the two pipelines stay hash-comparable.
+    pub fn population(&self) -> PopulationConfig {
+        if self.name.starts_with("smoke") {
+            PopulationConfig::small_test(self.trace_seed)
+        } else {
+            PopulationConfig {
+                num_users: self.users,
+                days: self.days,
+                ..PopulationConfig::iphone_like(self.trace_seed)
+            }
+        }
+    }
+
     /// Generates the workload's trace.
     pub fn trace(&self) -> Trace {
         self.trace_threads(1)
@@ -66,16 +124,7 @@ impl BaselineWorkload {
     /// Generates the workload's trace across `threads` OS threads —
     /// byte-identical to [`BaselineWorkload::trace`] at any count.
     pub fn trace_threads(&self, threads: usize) -> Trace {
-        if self.name.starts_with("smoke") {
-            PopulationConfig::small_test(self.trace_seed).generate_parallel(threads)
-        } else {
-            PopulationConfig {
-                num_users: self.users,
-                days: self.days,
-                ..PopulationConfig::iphone_like(self.trace_seed)
-            }
-            .generate_parallel(threads)
-        }
+        self.population().generate_parallel(threads)
     }
 
     /// Builds the workload's simulator config.
@@ -93,6 +142,10 @@ pub struct BaselineMeasurement {
     pub workload: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Logical CPUs on the recording host. Wall-clock columns are only
+    /// comparable between entries recorded on similar hardware; this
+    /// stamp makes "similar" checkable instead of assumed.
+    pub cpus: usize,
     /// Wall-clock seconds for the simulation run alone. Trace generation
     /// is timed separately in `gen_wall_s` and never charged to the
     /// simulator — `events_per_sec` divides by this field only.
@@ -113,6 +166,11 @@ pub struct BaselineMeasurement {
     /// percent (observed vs plain run, min-of-N, clamped at zero). See
     /// [`measure_obs_overhead`].
     pub obs_overhead_pct: f64,
+    /// Process peak RSS (kernel VmHWM) after the run, in MiB, or `0.0`
+    /// where no `/proc` exposes it. A lifetime high-water mark: it
+    /// bounds this run *plus* everything before it in the process, so
+    /// the baseline binary measures memory-sensitive workloads first.
+    pub peak_rss_mb: f64,
     /// FNV-1a hash of the canonical report bytes (determinism witness).
     pub report_hash: u64,
 }
@@ -123,15 +181,18 @@ impl BaselineMeasurement {
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"workload\":\"{}\",\"threads\":{},",
+                "\"cpus\":{},",
                 "\"wall_s\":{:.4},\"gen_wall_s\":{:.4},",
                 "\"events\":{},\"events_per_sec\":{:.0},",
                 "\"ads_placed\":{},\"ads_placed_per_sec\":{:.0},",
                 "\"obs_overhead_pct\":{:.2},",
+                "\"peak_rss_mb\":{:.1},",
                 "\"report_hash\":\"{:016x}\"}}"
             ),
             self.label,
             self.workload,
             self.threads,
+            self.cpus,
             self.wall_s,
             self.gen_wall_s,
             self.events,
@@ -139,6 +200,7 @@ impl BaselineMeasurement {
             self.ads_placed,
             self.ads_placed_per_sec,
             self.obs_overhead_pct,
+            self.peak_rss_mb,
             self.report_hash,
         )
     }
@@ -161,7 +223,48 @@ pub fn measure(workload: &BaselineWorkload, threads: usize, label: &str) -> Base
     let wall_s = t0.elapsed().as_secs_f64();
     let mut m = measurement_from(&report, workload, threads, label, wall_s);
     m.gen_wall_s = gen_wall_s;
+    m.peak_rss_mb = peak_rss_mb();
     m
+}
+
+/// Runs `workload` through the bounded-memory streaming pipeline
+/// ([`Simulator::run_streaming`]) and measures it.
+///
+/// Shard count comes from [`adpf_core::default_shards`], exactly as the
+/// `simulate --stream` path derives it, so recorded hashes match CLI
+/// runs. Generation happens *inside* the pipeline (each shard generates
+/// its own user range), so `gen_wall_s` here reports the summed
+/// per-shard generation time observed by the `phase.trace_gen` span —
+/// CPU-seconds of generation, not a separate wall-clock phase — and
+/// `wall_s` covers the whole pipeline.
+pub fn measure_streaming(
+    workload: &BaselineWorkload,
+    threads: usize,
+    label: &str,
+) -> BaselineMeasurement {
+    let pop = workload.population();
+    let cfg = workload.config();
+    let n_shards = adpf_core::default_shards(pop.num_users);
+    let t0 = Instant::now();
+    let (report, reg) =
+        Simulator::run_streaming_observed(&cfg, pop.num_users, n_shards, threads, |i| {
+            pop.generate_shard(i, n_shards)
+        });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut m = measurement_from(&report, workload, threads, label, wall_s);
+    m.gen_wall_s = reg.time_ns("phase.trace_gen") as f64 / 1e9;
+    m.peak_rss_mb = peak_rss_mb();
+    m
+}
+
+/// Host CPU count as stamped into measurements (0 when undetectable).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
+/// Process peak RSS in MiB, or `0.0` where `/proc` is unavailable.
+pub fn peak_rss_mb() -> f64 {
+    adpf_obs::peak_rss_kb().map_or(0.0, |kb| kb as f64 / 1024.0)
 }
 
 /// Builds a measurement record from an already-produced report.
@@ -179,6 +282,7 @@ pub fn measurement_from(
         label: label.to_string(),
         workload: workload.name.to_string(),
         threads,
+        cpus: host_cpus(),
         wall_s,
         gen_wall_s: 0.0,
         events,
@@ -186,6 +290,7 @@ pub fn measurement_from(
         events_per_sec: events as f64 / denom,
         ads_placed_per_sec: ads_placed as f64 / denom,
         obs_overhead_pct: 0.0,
+        peak_rss_mb: 0.0,
         report_hash: report_hash(report),
     }
 }
@@ -416,6 +521,7 @@ mod tests {
             label: "pre".into(),
             workload: "w".into(),
             threads: 1,
+            cpus: 8,
             wall_s: 1.25,
             gen_wall_s: 0.5,
             events: 1000,
@@ -423,6 +529,7 @@ mod tests {
             events_per_sec: 800.0,
             ads_placed_per_sec: 400.0,
             obs_overhead_pct: 1.25,
+            peak_rss_mb: 123.4,
             report_hash: 0xdead_beef,
         };
         let file = render_file(&[m.to_json_line()]);
@@ -463,6 +570,7 @@ mod tests {
             "label",
             "workload",
             "threads",
+            "cpus",
             "wall_s",
             "gen_wall_s",
             "events",
@@ -470,10 +578,43 @@ mod tests {
             "ads_placed",
             "ads_placed_per_sec",
             "obs_overhead_pct",
+            "peak_rss_mb",
             "report_hash",
         ] {
             assert!(line.contains(&format!("\"{key}\":")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn streaming_measure_matches_materialized_hash_and_stamps_host_facts() {
+        let w = BaselineWorkload::smoke();
+        let m = measure(&w, 1, "t");
+        let s = measure_streaming(&w, 2, "t");
+        assert_eq!(
+            s.report_hash, m.report_hash,
+            "streaming measure must reproduce the materialized hash"
+        );
+        assert_eq!(s.events, m.events);
+        assert_eq!(s.cpus, host_cpus());
+        assert!(s.gen_wall_s > 0.0, "trace_gen span must be recorded");
+        if adpf_obs::peak_rss_kb().is_some() {
+            assert!(m.peak_rss_mb > 0.0 && s.peak_rss_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn scale_workloads_describe_large_populations() {
+        let w = BaselineWorkload::scale_100k();
+        assert_eq!(w.population().num_users, 100_000);
+        assert_eq!(
+            BaselineWorkload::scale_1m().population().num_users,
+            1_000_000
+        );
+        // The smoke population ignores `users`/`days` by design.
+        assert_eq!(
+            BaselineWorkload::smoke().population(),
+            adpf_traces::PopulationConfig::small_test(777)
+        );
     }
 
     #[test]

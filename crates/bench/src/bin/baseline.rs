@@ -5,9 +5,11 @@
 //! ```text
 //! baseline --label pre-change             # measure and append to BENCH_baseline.json
 //! baseline --label post --threads-list 1,2,4,8
+//! baseline --label scale --workload scale-100k --stream --threads-list 1
 //! baseline --smoke                        # CI gate: print the smoke report hash
 //! baseline --scaling-check                # CI gate: 4 threads must beat 1 thread
 //! baseline --obs-check --metrics-out m.jsonl  # CI gate: metrics change nothing
+//! baseline --mem-check                    # CI gate: streaming stays bounded-memory
 //! ```
 //!
 //! `--smoke` runs the small fixed-seed workload at 1 and 4 threads,
@@ -27,15 +29,39 @@
 //! the same golden), collection overhead must stay under 3%, and with
 //! `--metrics-out PATH` the exported JSON lines must pass the schema
 //! validator after a round trip through the filesystem.
+//!
+//! `--mem-check` runs a mid-size workload through the streaming pipeline
+//! and fails if the process's peak RSS exceeds a committed ceiling. The
+//! streaming pipeline's contract is that peak memory is
+//! O(users-per-shard × threads), not O(population); an accidental
+//! re-materialization (e.g. a future change that generates the full
+//! trace before sharding) blows straight through the ceiling. Skipped
+//! with exit 0 on hosts without a readable `/proc/self/status`.
 
 use std::process::ExitCode;
 
-use adpf_bench::baseline::{append_to_file, measure, measure_obs_overhead, BaselineWorkload};
+use adpf_bench::baseline::{
+    append_to_file, host_cpus, measure, measure_obs_overhead, measure_streaming, BaselineWorkload,
+};
 use adpf_core::Simulator;
 use adpf_obs::{to_json_lines, validate_json_lines};
 
 /// Minimum 4-thread / 1-thread events/s ratio `--scaling-check` accepts.
 const SCALING_FLOOR: f64 = 1.5;
+
+/// Peak-RSS ceiling for `--mem-check`, in MiB. The gate workload
+/// (100k users, one day) streams in roughly half of this on the CI
+/// container — including the binary, in-flight shard state, and
+/// allocator slack — while materializing its full trace first measures
+/// well above it (~128 MiB for the trace alone, ~255 MiB for the
+/// two-day variant, split copies included). Revisit only alongside a
+/// deliberate change to the memory model.
+const MEM_CHECK_CEILING_MB: f64 = 96.0;
+
+/// Worker threads for `--mem-check`. Fixed (not host-derived) because
+/// the committed ceiling assumes this many concurrently-resident
+/// shards.
+const MEM_CHECK_THREADS: usize = 2;
 
 /// Maximum metric-collection overhead `--obs-check` accepts, in percent.
 const OBS_OVERHEAD_CEILING_PCT: f64 = 3.0;
@@ -53,6 +79,9 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut scaling_check = false;
     let mut obs_check = false;
+    let mut mem_check = false;
+    let mut stream = false;
+    let mut workload = String::from("e14");
     let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -69,14 +98,24 @@ fn main() -> ExitCode {
                 obs_check = true;
                 i += 1;
             }
+            "--mem-check" => {
+                mem_check = true;
+                i += 1;
+            }
+            "--stream" => {
+                stream = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: baseline [--smoke] [--scaling-check] [--obs-check] [--label NAME] \
-                     [--out PATH] [--metrics-out PATH] [--threads-list 1,2,4,8]"
+                    "usage: baseline [--smoke] [--scaling-check] [--obs-check] [--mem-check] \
+                     [--label NAME] [--out PATH] [--metrics-out PATH] \
+                     [--workload e14|smoke|memcheck|scale-100k|scale-1m] [--stream] \
+                     [--threads-list 1,2,4,8]"
                 );
                 return ExitCode::SUCCESS;
             }
-            flag @ ("--label" | "--out" | "--threads-list" | "--metrics-out") => {
+            flag @ ("--label" | "--out" | "--threads-list" | "--metrics-out" | "--workload") => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("flag `{flag}` is missing its value");
                     return ExitCode::FAILURE;
@@ -85,6 +124,7 @@ fn main() -> ExitCode {
                     "--label" => label = value.clone(),
                     "--out" => out = value.clone(),
                     "--metrics-out" => metrics_out = Some(value.clone()),
+                    "--workload" => workload = value.clone(),
                     _ => {
                         let parsed: Result<Vec<usize>, _> =
                             value.split(',').map(str::parse).collect();
@@ -104,6 +144,29 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if mem_check {
+        if adpf_obs::peak_rss_kb().is_none() {
+            println!("mem-check: SKIPPED (no readable /proc/self/status on this host)");
+            return ExitCode::SUCCESS;
+        }
+        let w = BaselineWorkload::mem_check();
+        let m = measure_streaming(&w, MEM_CHECK_THREADS, "mem-check");
+        println!(
+            "mem-check: [{}] {} users streamed, peak RSS {:.1} MiB \
+             (ceiling {MEM_CHECK_CEILING_MB} MiB, {:.0} events/s, hash {:016x})",
+            m.workload, w.users, m.peak_rss_mb, m.events_per_sec, m.report_hash
+        );
+        if m.peak_rss_mb > MEM_CHECK_CEILING_MB {
+            eprintln!(
+                "mem-check FAILED: peak RSS {:.1} MiB > {MEM_CHECK_CEILING_MB} MiB — did \
+                 something re-materialize the full trace?",
+                m.peak_rss_mb
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     if smoke {
@@ -173,13 +236,11 @@ fn main() -> ExitCode {
     }
 
     if scaling_check {
-        let cpus = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let cpus = host_cpus();
         if cpus < 2 {
             println!(
-                "scaling-check: SKIPPED (host exposes {cpus} CPU; thread scaling is \
-                 unobservable here, determinism is still covered by --smoke)"
+                "scaling-check: SKIPPED (cpus={cpus}; thread scaling is unobservable on this \
+                 host, determinism is still covered by --smoke)"
             );
             return ExitCode::SUCCESS;
         }
@@ -206,24 +267,40 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let w = BaselineWorkload::e14_style();
+    let w = match workload.as_str() {
+        "e14" => BaselineWorkload::e14_style(),
+        "smoke" => BaselineWorkload::smoke(),
+        "memcheck" => BaselineWorkload::mem_check(),
+        "scale-100k" => BaselineWorkload::scale_100k(),
+        "scale-1m" => BaselineWorkload::scale_1m(),
+        other => {
+            eprintln!("unknown workload `{other}` (e14|smoke|memcheck|scale-100k|scale-1m)");
+            return ExitCode::FAILURE;
+        }
+    };
     // Stamp every recorded entry with the smoke-workload observation
     // overhead, so the perf trajectory tracks what metrics cost too.
     let obs_overhead = measure_obs_overhead(OBS_REPS);
     let mut measurements = Vec::new();
     for &threads in &threads_list {
-        let mut m = measure(&w, threads, &label);
+        let mut m = if stream {
+            measure_streaming(&w, threads, &label)
+        } else {
+            measure(&w, threads, &label)
+        };
         m.obs_overhead_pct = obs_overhead.overhead_pct;
         println!(
-            "{} [{}] threads={}: {:.3}s sim + {:.3}s gen, {:.0} events/s, {:.0} ads/s \
-             (hash {:016x})",
+            "{} [{}] threads={} cpus={}: {:.3}s sim + {:.3}s gen, {:.0} events/s, {:.0} ads/s, \
+             peak RSS {:.1} MiB (hash {:016x})",
             m.label,
             m.workload,
             m.threads,
+            m.cpus,
             m.wall_s,
             m.gen_wall_s,
             m.events_per_sec,
             m.ads_placed_per_sec,
+            m.peak_rss_mb,
             m.report_hash
         );
         measurements.push(m);

@@ -17,20 +17,37 @@
 //! the population size alone, and `--threads N` only spreads those
 //! shards (and trace generation) over N OS threads, so the report for a
 //! given trace and seed is identical at every thread count.
+//!
+//! `--stream` switches to the bounded-memory pipeline
+//! ([`Simulator::run_streaming`]): each shard generates its own user
+//! range on the worker that consumes it, so the full trace never exists
+//! in memory and peak RSS stays O(users-per-shard × threads) instead of
+//! O(population). Combined with `--users`/`--days` overrides this makes
+//! million-user runs routine:
+//!
+//! ```text
+//! simulate --stream --preset iphone --users 1000000 --days 1 --mode prefetch
+//! ```
+//!
+//! Streaming reports are byte-identical to the default path on the same
+//! population (see `tests/streaming.rs`).
 
 use std::fs::File;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use adpf_bench::cli::{build_config, parse_simulate_args, CliError, SimulateOpts};
-use adpf_core::{DeliveryMode, SimReport, Simulator};
+use adpf_bench::cli::{
+    build_config, build_population, parse_simulate_args, CliError, SimulateOpts,
+};
+use adpf_core::{default_shards, DeliveryMode, SimReport, Simulator};
 use adpf_energy::BatteryModel;
 use adpf_obs::{render_table, to_json_lines, MetricRegistry, ObsSink};
-use adpf_traces::{csv, PopulationConfig, Trace};
+use adpf_traces::{csv, Trace};
 
 fn usage() {
     eprintln!(
         "usage: simulate [--trace FILE | --preset iphone|wp|small]\n\
+         \x20                [--stream] [--users N] [--days N]\n\
          \x20                [--mode realtime|prefetch|both]\n\
          \x20                [--interval-h N] [--deadline-h N] [--sla P]\n\
          \x20                [--predictor session|day-hour|tod|markov|mean|oracle|zero]\n\
@@ -48,15 +65,9 @@ fn load_trace(o: &SimulateOpts) -> Result<Trace, String> {
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         return csv::read_trace(file).map_err(|e| e.to_string());
     }
-    let cfg = match o.preset.as_str() {
-        "iphone" => PopulationConfig::iphone_like(o.seed),
-        "wp" => PopulationConfig::windows_phone_like(o.seed),
-        "small" => PopulationConfig::small_test(o.seed),
-        other => return Err(format!("unknown preset `{other}`")),
-    };
     // Generation parallelizes over the same thread budget as the
     // simulation, and is byte-identical at any count.
-    Ok(cfg.generate_parallel(o.threads))
+    Ok(build_population(o)?.generate_parallel(o.threads))
 }
 
 fn print_report(report: &SimReport) {
@@ -89,24 +100,45 @@ fn main() -> ExitCode {
     let collect = opts.metrics || opts.metrics_out.is_some();
     let pipeline = MetricRegistry::new();
 
-    let gen_start = collect.then(Instant::now);
-    let trace = match load_trace(&opts) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    // Streaming keeps the population config and never materializes the
+    // trace; the classic path loads/generates it up front.
+    let (trace, pop) = if opts.stream {
+        let pop = match build_population(&opts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "trace: {} users, {} days, {} shards (streaming, {} threads)\n",
+            pop.num_users,
+            pop.days,
+            default_shards(pop.num_users),
+            opts.threads
+        );
+        (None, Some(pop))
+    } else {
+        let gen_start = collect.then(Instant::now);
+        let trace = match load_trace(&opts) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(t0) = gen_start {
+            pipeline.add_time_ns("phase.trace_gen", t0.elapsed().as_nanos() as u64);
         }
+        println!(
+            "trace: {} users, {} sessions, {} days ({} threads)\n",
+            trace.num_users(),
+            trace.sessions().len(),
+            trace.days(),
+            opts.threads
+        );
+        (Some(trace), None)
     };
-    if let Some(t0) = gen_start {
-        pipeline.add_time_ns("phase.trace_gen", t0.elapsed().as_nanos() as u64);
-    }
-    println!(
-        "trace: {} users, {} sessions, {} days ({} threads)\n",
-        trace.num_users(),
-        trace.sessions().len(),
-        trace.days(),
-        opts.threads
-    );
 
     let modes: &[(DeliveryMode, &str)] = match opts.mode.as_str() {
         "realtime" => &[(DeliveryMode::RealTime, "realtime")],
@@ -127,7 +159,19 @@ fn main() -> ExitCode {
     for &(mode, label) in modes {
         let report = match build_config(&opts, mode) {
             Ok(cfg) if collect => {
-                let (r, reg) = Simulator::run_parallel_observed(&cfg, &trace, opts.threads);
+                let (r, reg) = match &pop {
+                    Some(p) => {
+                        let n = default_shards(p.num_users);
+                        Simulator::run_streaming_observed(&cfg, p.num_users, n, opts.threads, |i| {
+                            p.generate_shard(i, n)
+                        })
+                    }
+                    None => Simulator::run_parallel_observed(
+                        &cfg,
+                        trace.as_ref().expect("non-stream path has a trace"),
+                        opts.threads,
+                    ),
+                };
                 if opts.metrics {
                     println!("metrics ({label}):\n{}", render_table(&reg));
                 }
@@ -136,7 +180,19 @@ fn main() -> ExitCode {
                 }
                 r
             }
-            Ok(cfg) => Simulator::run_parallel(&cfg, &trace, opts.threads),
+            Ok(cfg) => match &pop {
+                Some(p) => {
+                    let n = default_shards(p.num_users);
+                    Simulator::run_streaming(&cfg, p.num_users, n, opts.threads, |i| {
+                        p.generate_shard(i, n)
+                    })
+                }
+                None => Simulator::run_parallel(
+                    &cfg,
+                    trace.as_ref().expect("non-stream path has a trace"),
+                    opts.threads,
+                ),
+            },
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;

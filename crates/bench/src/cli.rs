@@ -7,6 +7,7 @@ use adpf_desim::SimDuration;
 use adpf_energy::profiles;
 use adpf_netem::{NetemConfig, RetryPolicy};
 use adpf_prediction::PredictorKind;
+use adpf_traces::PopulationConfig;
 
 /// Parsed `simulate` options, with defaults applied.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,16 @@ pub struct SimulateOpts {
     /// Uniform price floor for both slot kinds (`None` = no floor).
     /// Requires `--marketplace` other than `off`.
     pub floor: Option<f64>,
+    /// Run the bounded-memory streaming pipeline: each shard generates
+    /// and consumes its own user range, so the full trace never exists
+    /// in memory. Synthetic presets only (a CSV trace is already
+    /// materialized). Reports are byte-identical to the default path.
+    pub stream: bool,
+    /// Population-size override for synthetic presets (`None` keeps the
+    /// preset's). This is how million-user runs are requested.
+    pub users: Option<u32>,
+    /// Trace-length override in days for synthetic presets.
+    pub days: Option<u32>,
     /// Print the metric registry as a table after each run.
     pub metrics: bool,
     /// Write the metric registry as JSON lines to this path (implies
@@ -71,6 +82,9 @@ impl Default for SimulateOpts {
             marketplace: "off".into(),
             pricing: None,
             floor: None,
+            stream: false,
+            users: None,
+            days: None,
             metrics: false,
             metrics_out: None,
         }
@@ -118,6 +132,11 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             i += 1;
             continue;
         }
+        if flag == "--stream" {
+            o.stream = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| invalid(format!("flag `{flag}` is missing its value")))?;
@@ -145,6 +164,8 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             "--marketplace" => o.marketplace = value.clone(),
             "--pricing" => o.pricing = Some(value.clone()),
             "--floor" => o.floor = Some(value.parse().map_err(|_| parse_err("--floor"))?),
+            "--users" => o.users = Some(value.parse().map_err(|_| parse_err("--users"))?),
+            "--days" => o.days = Some(value.parse().map_err(|_| parse_err("--days"))?),
             "--metrics-out" => o.metrics_out = Some(value.clone()),
             other => return Err(invalid(format!("unknown flag `{other}`"))),
         }
@@ -174,7 +195,48 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             return Err(invalid(format!("--floor {f} must be finite and >= 0")));
         }
     }
+    // Streaming and population overrides regenerate from a synthetic
+    // preset; a CSV trace is already materialized, so combining them
+    // would silently ignore one side. Reject instead.
+    if o.trace.is_some() {
+        if o.stream {
+            return Err(invalid(
+                "--stream requires a synthetic --preset, not --trace",
+            ));
+        }
+        if o.users.is_some() || o.days.is_some() {
+            return Err(invalid(
+                "--users/--days override a synthetic --preset, not --trace",
+            ));
+        }
+    }
+    if o.days == Some(0) {
+        return Err(invalid("--days must be at least 1"));
+    }
     Ok(o)
+}
+
+/// Resolves the synthetic population for parsed options: the `--preset`
+/// shape with any `--users`/`--days` overrides applied. Errors when the
+/// options name a CSV trace instead (callers handle that path
+/// separately).
+pub fn build_population(o: &SimulateOpts) -> Result<PopulationConfig, String> {
+    if o.trace.is_some() {
+        return Err("a CSV trace has no synthetic population".into());
+    }
+    let mut pop = match o.preset.as_str() {
+        "iphone" => PopulationConfig::iphone_like(o.seed),
+        "wp" => PopulationConfig::windows_phone_like(o.seed),
+        "small" => PopulationConfig::small_test(o.seed),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    if let Some(users) = o.users {
+        pop.num_users = users;
+    }
+    if let Some(days) = o.days {
+        pop.days = days;
+    }
+    Ok(pop)
 }
 
 /// Resolves a netem preset name.
@@ -431,6 +493,36 @@ mod tests {
 
         let o = parse_simulate_args(&[]).unwrap();
         assert!(!o.metrics && o.metrics_out.is_none());
+    }
+
+    #[test]
+    fn stream_and_population_flags_parse() {
+        // `--stream` is a bare boolean: it must not swallow what follows.
+        let o =
+            parse_simulate_args(&argv("--stream --preset iphone --users 100000 --days 2")).unwrap();
+        assert!(o.stream);
+        assert_eq!(o.users, Some(100_000));
+        assert_eq!(o.days, Some(2));
+        let pop = build_population(&o).unwrap();
+        assert_eq!((pop.num_users, pop.days), (100_000, 2));
+
+        // Overrides default to the preset's own shape.
+        let o = parse_simulate_args(&argv("--preset small")).unwrap();
+        assert_eq!(
+            build_population(&o).unwrap(),
+            adpf_traces::PopulationConfig::small_test(o.seed)
+        );
+    }
+
+    #[test]
+    fn stream_and_overrides_reject_csv_traces_and_zero_days() {
+        assert!(parse_simulate_args(&argv("--trace t.csv --stream")).is_err());
+        assert!(parse_simulate_args(&argv("--trace t.csv --users 10")).is_err());
+        assert!(parse_simulate_args(&argv("--trace t.csv --days 2")).is_err());
+        assert!(parse_simulate_args(&argv("--days 0")).is_err());
+        assert!(parse_simulate_args(&argv("--users many")).is_err());
+        let o = parse_simulate_args(&argv("--trace t.csv")).unwrap();
+        assert!(build_population(&o).is_err());
     }
 
     #[test]

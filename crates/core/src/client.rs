@@ -1,4 +1,12 @@
 //! Per-client state: ad cache, pending reports, radio.
+//!
+//! Client state is stored in a struct-of-arrays [`ClientTable`] rather
+//! than one struct per client: every field is a dense column indexed by
+//! the client's `u32` id. The simulator's hot loops (candidate-pool
+//! scans, sync scheduling) touch one or two scalar fields across many
+//! clients, so the columnar layout keeps those scans contiguous in
+//! cache, and the table's per-client heap footprint is a handful of
+//! `Vec` headers instead of a boxed struct per user.
 
 use adpf_auction::AdId;
 use adpf_desim::{SimDuration, SimTime};
@@ -27,63 +35,37 @@ impl CachedAd {
     }
 }
 
-/// The state of one simulated client device plus the server-side model the
-/// ad server keeps for it (predictor, queue estimate, outbox).
-pub struct ClientState {
-    /// The client's radio modem (ad traffic only).
-    pub radio: Radio,
-    /// Prefetched ads available for display, kept sorted by display
-    /// priority: primaries earliest-deadline-first, then replicas.
-    pub cache: Vec<CachedAd>,
-    /// Displays since the last sync, awaiting report.
-    pub pending_reports: Vec<(AdId, SimTime)>,
-    /// Slot times since the last sync (the predictor's observation).
-    pub slot_times: Vec<SimTime>,
-    /// Time of the last completed sync.
-    pub last_sync: SimTime,
-    /// Time of the next scheduled sync.
-    pub next_sync: SimTime,
-    /// Server-side demand model for this client.
-    pub predictor: Box<dyn SlotPredictor>,
-    /// Server-side assignments awaiting the client's next sync.
-    pub outbox: Vec<CachedAd>,
-    /// Server-side estimate of undisplayed ads assigned to this client
-    /// (cache + outbox), used to discount availability.
-    pub queued: u32,
-    /// Whether a netem retry event is outstanding for this client. Any
-    /// completed sync clears it, turning the stale retry into a no-op.
-    pub retry_pending: bool,
-}
+/// One client's prefetched ads, kept sorted by display priority:
+/// primaries earliest-deadline-first, then replicas.
+#[derive(Debug, Default)]
+pub struct AdCache(Vec<CachedAd>);
 
-impl ClientState {
-    /// Creates a client with an idle radio and a cold predictor.
-    pub fn new(radio: Radio, predictor: Box<dyn SlotPredictor>) -> Self {
-        Self {
-            radio,
-            cache: Vec::new(),
-            pending_reports: Vec::new(),
-            slot_times: Vec::new(),
-            last_sync: SimTime::ZERO,
-            next_sync: SimTime::ZERO,
-            predictor,
-            outbox: Vec::new(),
-            queued: 0,
-            retry_pending: false,
-        }
+impl AdCache {
+    /// Inserts an ad keeping display-priority order.
+    pub fn insert(&mut self, ad: CachedAd) {
+        let pos = self.0.partition_point(|c| c.priority() <= ad.priority());
+        self.0.insert(pos, ad);
     }
 
-    /// Inserts an ad into the cache keeping display-priority order.
-    pub fn cache_insert(&mut self, ad: CachedAd) {
-        let pos = self
-            .cache
-            .partition_point(|c| c.priority() <= ad.priority());
-        self.cache.insert(pos, ad);
+    /// Number of cached ads (primaries and replicas).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The cached ads in display-priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &CachedAd> {
+        self.0.iter()
     }
 
     /// Number of cached primary (non-replica) ads — the quantity the
     /// server compares against predicted demand when topping up.
     pub fn primary_count(&self) -> usize {
-        self.cache.iter().filter(|c| !c.replica).count()
+        self.0.iter().filter(|c| !c.replica).count()
     }
 
     /// Removes and returns the best displayable ad at `now`, purging
@@ -91,10 +73,10 @@ impl ClientState {
     ///
     /// Primaries display in deadline order. Replicas are last-resort
     /// insurance: one becomes eligible only inside the final
-    /// `replica_window` before its deadline — by then the origin client has
-    /// evidently failed to show it, and a cancellation would long since
-    /// have arrived had it succeeded. Holding replicas back keeps them
-    /// from burning slots as duplicate displays of ads already shown
+    /// `replica_window` before its deadline — by then the origin client
+    /// has evidently failed to show it, and a cancellation would long
+    /// since have arrived had it succeeded. Holding replicas back keeps
+    /// them from burning slots as duplicate displays of ads already shown
     /// elsewhere.
     pub fn take_displayable(
         &mut self,
@@ -103,28 +85,111 @@ impl ClientState {
     ) -> Option<CachedAd> {
         // Expired entries are dropped silently; the server's expiry sweep
         // does the ledger accounting.
-        self.cache.retain(|c| c.deadline >= now);
+        self.0.retain(|c| c.deadline >= now);
         let pos = self
-            .cache
+            .0
             .iter()
             .position(|c| !c.replica || c.deadline.saturating_since(now) <= replica_window)?;
-        Some(self.cache.remove(pos))
+        Some(self.0.remove(pos))
     }
 
     /// Drops cache entries whose deadline has passed; returns how many.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
-        let before = self.cache.len();
-        self.cache.retain(|c| c.deadline >= now);
-        before - self.cache.len()
+        let before = self.0.len();
+        self.0.retain(|c| c.deadline >= now);
+        before - self.0.len()
     }
 
-    /// Removes the given ads from cache and outbox (server-issued
-    /// cancellations); returns how many entries were actually dropped.
-    pub fn cancel(&mut self, ads: &[u64]) -> usize {
-        let before = self.cache.len() + self.outbox.len();
-        self.cache.retain(|c| !ads.contains(&c.id.0));
-        self.outbox.retain(|c| !ads.contains(&c.id.0));
-        before - self.cache.len() - self.outbox.len()
+    /// Drops the given ads (server-issued cancellations); returns how
+    /// many entries were actually removed.
+    fn cancel(&mut self, ads: &[u64]) -> usize {
+        let before = self.0.len();
+        self.0.retain(|c| !ads.contains(&c.id.0));
+        before - self.0.len()
+    }
+}
+
+/// Struct-of-arrays state of every simulated client device plus the
+/// server-side model the ad server keeps for each (predictor, queue
+/// estimate, outbox). Column `i` across all vectors is client `i`.
+#[derive(Default)]
+pub struct ClientTable {
+    /// The client's radio modem (ad traffic only).
+    pub radio: Vec<Radio>,
+    /// Prefetched ads available for display.
+    pub cache: Vec<AdCache>,
+    /// Displays since the last sync, awaiting report.
+    pub pending_reports: Vec<Vec<(AdId, SimTime)>>,
+    /// Slot times since the last sync (the predictor's observation).
+    pub slot_times: Vec<Vec<SimTime>>,
+    /// Time of the last completed sync.
+    pub last_sync: Vec<SimTime>,
+    /// Time of the next scheduled sync.
+    pub next_sync: Vec<SimTime>,
+    /// Server-side demand model for this client.
+    pub predictor: Vec<Box<dyn SlotPredictor>>,
+    /// Server-side assignments awaiting the client's next sync.
+    pub outbox: Vec<Vec<CachedAd>>,
+    /// Server-side estimate of undisplayed ads assigned to this client
+    /// (cache + outbox), used to discount availability.
+    pub queued: Vec<u32>,
+    /// Whether a netem retry event is outstanding for this client. Any
+    /// completed sync clears it, turning the stale retry into a no-op.
+    pub retry_pending: Vec<bool>,
+}
+
+impl ClientTable {
+    /// A table with room reserved for `n` clients.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            radio: Vec::with_capacity(n),
+            cache: Vec::with_capacity(n),
+            pending_reports: Vec::with_capacity(n),
+            slot_times: Vec::with_capacity(n),
+            last_sync: Vec::with_capacity(n),
+            next_sync: Vec::with_capacity(n),
+            predictor: Vec::with_capacity(n),
+            outbox: Vec::with_capacity(n),
+            queued: Vec::with_capacity(n),
+            retry_pending: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a client with an idle radio and a cold predictor; returns
+    /// its dense id.
+    pub fn push(&mut self, radio: Radio, predictor: Box<dyn SlotPredictor>) -> usize {
+        let id = self.radio.len();
+        self.radio.push(radio);
+        self.cache.push(AdCache::default());
+        self.pending_reports.push(Vec::new());
+        self.slot_times.push(Vec::new());
+        self.last_sync.push(SimTime::ZERO);
+        self.next_sync.push(SimTime::ZERO);
+        self.predictor.push(predictor);
+        self.outbox.push(Vec::new());
+        self.queued.push(0);
+        self.retry_pending.push(false);
+        id
+    }
+
+    /// Number of clients in the table.
+    pub fn len(&self) -> usize {
+        self.radio.len()
+    }
+
+    /// Whether the table has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.radio.is_empty()
+    }
+
+    /// Removes the given ads from client `i`'s cache and outbox
+    /// (server-issued cancellations); returns how many entries were
+    /// actually dropped.
+    pub fn cancel(&mut self, i: usize, ads: &[u64]) -> usize {
+        let outbox = &mut self.outbox[i];
+        let before = outbox.len();
+        outbox.retain(|c| !ads.contains(&c.id.0));
+        self.cache[i].cancel(ads) + before - outbox.len()
     }
 }
 
@@ -136,13 +201,6 @@ mod tests {
 
     /// Replica-eligibility window used across these tests.
     const W: SimDuration = SimDuration::from_hours(1);
-
-    fn client() -> ClientState {
-        ClientState::new(
-            Radio::new(profiles::umts_3g()),
-            PredictorKind::Zero.build(&[]),
-        )
-    }
 
     fn ad(id: u64, deadline_h: u64) -> CachedAd {
         CachedAd {
@@ -161,22 +219,22 @@ mod tests {
 
     #[test]
     fn cache_keeps_deadline_order() {
-        let mut c = client();
-        c.cache_insert(ad(1, 10));
-        c.cache_insert(ad(2, 5));
-        c.cache_insert(ad(3, 7));
-        let order: Vec<u64> = c.cache.iter().map(|a| a.id.0).collect();
+        let mut c = AdCache::default();
+        c.insert(ad(1, 10));
+        c.insert(ad(2, 5));
+        c.insert(ad(3, 7));
+        let order: Vec<u64> = c.iter().map(|a| a.id.0).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
 
     #[test]
     fn primaries_display_before_replicas() {
-        let mut c = client();
-        c.cache_insert(replica(1, 2)); // Urgent replica.
-        c.cache_insert(ad(2, 9)); // Relaxed primary.
-        c.cache_insert(replica(3, 5));
-        c.cache_insert(ad(4, 6));
-        let order: Vec<u64> = c.cache.iter().map(|a| a.id.0).collect();
+        let mut c = AdCache::default();
+        c.insert(replica(1, 2)); // Urgent replica.
+        c.insert(ad(2, 9)); // Relaxed primary.
+        c.insert(replica(3, 5));
+        c.insert(ad(4, 6));
+        let order: Vec<u64> = c.iter().map(|a| a.id.0).collect();
         assert_eq!(order, vec![4, 2, 1, 3], "primaries EDF, then replicas EDF");
         assert_eq!(c.primary_count(), 2);
         let first = c.take_displayable(SimTime::from_hours(1), W).unwrap();
@@ -185,11 +243,11 @@ mod tests {
 
     #[test]
     fn replicas_held_back_until_their_window() {
-        let mut c = client();
-        c.cache_insert(replica(1, 10));
+        let mut c = AdCache::default();
+        c.insert(replica(1, 10));
         // Far from the deadline the replica is invisible.
         assert!(c.take_displayable(SimTime::from_hours(2), W).is_none());
-        assert_eq!(c.cache.len(), 1, "the replica stays cached");
+        assert_eq!(c.len(), 1, "the replica stays cached");
         // Inside the final window it becomes displayable.
         let got = c.take_displayable(SimTime::from_hours(9), W).unwrap();
         assert_eq!(got.id.0, 1);
@@ -197,52 +255,82 @@ mod tests {
 
     #[test]
     fn take_displayable_is_edf_and_skips_expired() {
-        let mut c = client();
-        c.cache_insert(ad(1, 1)); // Will be expired.
-        c.cache_insert(ad(2, 8));
-        c.cache_insert(ad(3, 6));
+        let mut c = AdCache::default();
+        c.insert(ad(1, 1)); // Will be expired.
+        c.insert(ad(2, 8));
+        c.insert(ad(3, 6));
         let got = c.take_displayable(SimTime::from_hours(2), W).unwrap();
         assert_eq!(got.id.0, 3, "earliest non-expired deadline first");
-        assert_eq!(c.cache.len(), 1);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn take_displayable_empty_cache() {
-        let mut c = client();
+        let mut c = AdCache::default();
         assert!(c.take_displayable(SimTime::ZERO, W).is_none());
-        c.cache_insert(ad(1, 1));
+        c.insert(ad(1, 1));
         assert!(c.take_displayable(SimTime::from_hours(2), W).is_none());
-        assert!(c.cache.is_empty());
+        assert!(c.is_empty());
     }
 
     #[test]
     fn deadline_boundary_is_inclusive() {
-        let mut c = client();
-        c.cache_insert(ad(1, 2));
+        let mut c = AdCache::default();
+        c.insert(ad(1, 2));
         let got = c.take_displayable(SimTime::from_hours(2), W);
         assert!(got.is_some(), "an ad at exactly its deadline still shows");
     }
 
     #[test]
     fn purge_expired_counts() {
-        let mut c = client();
-        c.cache_insert(ad(1, 1));
-        c.cache_insert(ad(2, 2));
-        c.cache_insert(ad(3, 9));
+        let mut c = AdCache::default();
+        c.insert(ad(1, 1));
+        c.insert(ad(2, 2));
+        c.insert(ad(3, 9));
         assert_eq!(c.purge_expired(SimTime::from_hours(3)), 2);
-        assert_eq!(c.cache.len(), 1);
+        assert_eq!(c.len(), 1);
         assert_eq!(c.purge_expired(SimTime::from_hours(3)), 0);
     }
 
     #[test]
-    fn cancel_hits_cache_and_outbox() {
-        let mut c = client();
-        c.cache_insert(ad(1, 5));
-        c.cache_insert(ad(2, 6));
-        c.outbox.push(ad(3, 7));
-        let dropped = c.cancel(&[1, 3, 99]);
+    fn table_cancel_hits_cache_and_outbox() {
+        let mut t = ClientTable::default();
+        let i = t.push(
+            Radio::new(profiles::umts_3g()),
+            PredictorKind::Zero.build(&[]),
+        );
+        t.cache[i].insert(ad(1, 5));
+        t.cache[i].insert(ad(2, 6));
+        t.outbox[i].push(ad(3, 7));
+        let dropped = t.cancel(i, &[1, 3, 99]);
         assert_eq!(dropped, 2);
-        assert_eq!(c.cache.len(), 1);
-        assert!(c.outbox.is_empty());
+        assert_eq!(t.cache[i].len(), 1);
+        assert!(t.outbox[i].is_empty());
+    }
+
+    #[test]
+    fn table_columns_stay_aligned() {
+        let mut t = ClientTable::with_capacity(2);
+        for _ in 0..2 {
+            t.push(
+                Radio::new(profiles::umts_3g()),
+                PredictorKind::Zero.build(&[]),
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        for len in [
+            t.cache.len(),
+            t.pending_reports.len(),
+            t.slot_times.len(),
+            t.last_sync.len(),
+            t.next_sync.len(),
+            t.predictor.len(),
+            t.outbox.len(),
+            t.queued.len(),
+            t.retry_pending.len(),
+        ] {
+            assert_eq!(len, 2);
+        }
     }
 }

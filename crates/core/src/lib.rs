@@ -45,5 +45,6 @@ pub mod sim;
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
 pub use report::{NetemCounters, SimReport};
 pub use sim::{
-    default_shards, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS, USERS_PER_SHARD,
+    default_shards, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS, MAX_USERS_PER_SHARD,
+    USERS_PER_SHARD,
 };

@@ -12,11 +12,11 @@ use adpf_obs::{MetricId, MetricRegistry, ObsSink};
 use adpf_overbooking::availability::{AvailabilityCache, ClientAvailability};
 use adpf_overbooking::planner::{ReplicationPlanner, PLAN_INLINE};
 use adpf_overbooking::reconcile::ReplicaTracker;
-use adpf_traces::{AdSlot, Trace};
+use adpf_traces::{shard_ranges, AdSlot, Trace, UserSlots};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::client::{CachedAd, ClientState};
+use crate::client::{CachedAd, ClientTable};
 use crate::config::{DeliveryMode, SystemConfig};
 use crate::report::{metric_names, NetemCounters, SimReport};
 
@@ -36,9 +36,12 @@ const MAX_SELL_PER_SYNC: u32 = 256;
 /// produce bit-identical merged reports at any thread count.
 pub const DEFAULT_SHARDS: usize = 8;
 
-/// Upper bound on derived shard counts. Caps per-shard setup overhead
-/// (each shard builds its own exchange and client table) and keeps the
-/// smallest shard large enough for replica candidate pools to matter.
+/// Preferred upper bound on derived shard counts. Caps per-shard setup
+/// overhead (each shard builds its own exchange and client table) and
+/// keeps the smallest shard large enough for replica candidate pools to
+/// matter. It is a *soft* cap: once honoring it would put more than
+/// [`MAX_USERS_PER_SHARD`] users in one shard, the count grows past it —
+/// see [`default_shards`].
 pub const MAX_SHARDS: usize = 64;
 
 /// Target users per shard when deriving the shard count. At the floor of
@@ -49,17 +52,34 @@ pub const MAX_SHARDS: usize = 64;
 /// 1,693-user iPhone population derives 43).
 pub const USERS_PER_SHARD: usize = 40;
 
+/// Hard ceiling on users per derived shard. A shard is the streaming
+/// pipeline's unit of residency — its sub-trace, client table, and slot
+/// stream are all alive at once — so this constant *is* the peak-memory
+/// bound of a streaming run: O(`MAX_USERS_PER_SHARD` × threads) users
+/// resident, regardless of population size. A million-user run derives
+/// ~489 shards of ≤2,048 users instead of being stranded at
+/// [`MAX_SHARDS`] shards of ~15,600.
+pub const MAX_USERS_PER_SHARD: usize = 2_048;
+
 /// Number of logical shards [`Simulator::run_parallel`] uses for a
 /// population of `num_users`: one shard per [`USERS_PER_SHARD`] users,
-/// clamped to `[DEFAULT_SHARDS, MAX_SHARDS]`.
+/// clamped to `[DEFAULT_SHARDS, cap]` where the cap is [`MAX_SHARDS`]
+/// raised, when necessary, to whatever keeps every shard at or below
+/// [`MAX_USERS_PER_SHARD`] users.
 ///
-/// The derivation depends only on the population size — never on thread
-/// count or host — so the merged report stays a deterministic function of
-/// `(config, trace)`.
+/// The derivation depends only on the population size — deliberately
+/// never on thread count or host — so the merged report stays a
+/// deterministic function of `(config, trace)` at every thread count
+/// (the invariant the equivalence suites pin). Threads are still served:
+/// any population big enough to want more parallelism than
+/// [`MAX_SHARDS`] shards already derives at least 64 of them, which
+/// saturates every realistic worker count, and the work-stealing
+/// scheduler keeps all workers busy regardless of the shard/thread
+/// ratio.
 pub fn default_shards(num_users: u32) -> usize {
-    (num_users as usize)
-        .div_ceil(USERS_PER_SHARD)
-        .clamp(DEFAULT_SHARDS, MAX_SHARDS)
+    let users = num_users as usize;
+    let cap = MAX_SHARDS.max(users.div_ceil(MAX_USERS_PER_SHARD));
+    users.div_ceil(USERS_PER_SHARD).clamp(DEFAULT_SHARDS, cap)
 }
 
 /// Finalizes `z` through the 64-bit mix used by splitmix64/murmur3.
@@ -112,6 +132,44 @@ impl ShardContext {
         Self {
             campaigns,
             campaign_types,
+        }
+    }
+}
+
+/// Where a sharded run's per-shard traces come from.
+///
+/// `Materialized` is the classic pipeline: the full trace exists and is
+/// split up front (all shard sub-traces alive simultaneously).
+/// `Streaming` hands each worker a generator instead of a `&Trace`: a
+/// shard's sub-trace is produced on the worker thread right before
+/// simulation and dropped right after, so peak residency is bounded by
+/// the number of *workers*, not the number of shards or users. Both
+/// variants cut the population along [`shard_ranges`], which is what
+/// keeps their merged reports bit-identical.
+#[derive(Clone, Copy)]
+enum ShardSupply<'a> {
+    /// The full trace, split `n_shards` ways up front.
+    Materialized(&'a Trace, usize),
+    /// Lazy per-shard generation over an `n_shards`-way split of a
+    /// `num_users` population.
+    Streaming {
+        num_users: u32,
+        n_shards: usize,
+        make: &'a (dyn Fn(usize) -> Trace + Sync),
+    },
+}
+
+impl ShardSupply<'_> {
+    fn num_users(&self) -> u32 {
+        match self {
+            ShardSupply::Materialized(trace, _) => trace.num_users(),
+            ShardSupply::Streaming { num_users, .. } => *num_users,
+        }
+    }
+
+    fn n_shards(&self) -> usize {
+        match self {
+            ShardSupply::Materialized(_, n) | ShardSupply::Streaming { n_shards: n, .. } => *n,
         }
     }
 }
@@ -187,7 +245,7 @@ enum Event {
 /// always yields the same report.
 pub struct Simulator {
     config: SystemConfig,
-    clients: Vec<ClientState>,
+    clients: ClientTable,
     slots: Vec<AdSlot>,
     horizon: SimTime,
     days: u32,
@@ -274,20 +332,19 @@ impl Simulator {
         }
         let slots = trace.ad_slots(config.ad_refresh);
         // Both views of the slot stream come from the one derivation
-        // above; deriving it twice used to double trace-setup time.
-        let slots_by_user = Trace::slots_by_user_from(&slots, trace.num_users());
+        // above; deriving it twice used to double trace-setup time. The
+        // per-user view is a CSR (offsets + one flat array) over the
+        // same stream: one allocation for the population, not one per
+        // user.
+        let slots_by_user = UserSlots::from_slots(&slots, trace.num_users());
         let horizon = trace.horizon();
 
-        let mut clients = Vec::with_capacity(trace.num_users() as usize);
+        let mut clients = ClientTable::with_capacity(trace.num_users() as usize);
         for u in 0..trace.num_users() {
-            let oracle_slots = slots_by_user
-                .get(u as usize)
-                .map(|v| v.as_slice())
-                .unwrap_or(&[]);
-            clients.push(ClientState::new(
+            clients.push(
                 Radio::new(config.radio.clone()),
-                config.predictor.build(oracle_slots),
-            ));
+                config.predictor.build(slots_by_user.user(u as usize)),
+            );
         }
 
         // The campaign catalog is built from the master seed alone (it
@@ -317,10 +374,10 @@ impl Simulator {
             // load (and replica delivery opportunities) spread out.
             let interval_ms = config.prefetch_interval.as_millis();
             let n = clients.len().max(1) as u64;
-            for (i, c) in clients.iter_mut().enumerate() {
+            for i in 0..clients.len() {
                 let offset = SimDuration::from_millis(interval_ms * (i as u64 % n) / n);
-                c.next_sync = SimTime::ZERO + offset;
-                queue.push(c.next_sync, Event::Sync(i as u32));
+                clients.next_sync[i] = SimTime::ZERO + offset;
+                queue.push(clients.next_sync[i], Event::Sync(i as u32));
             }
             queue.push(SimTime::from_hours(1), Event::ExpirySweep);
         }
@@ -468,7 +525,8 @@ impl Simulator {
         threads: usize,
         shard_hook: impl Fn(usize) + Sync,
     ) -> SimReport {
-        Self::run_sharded_inner(config, trace, n_shards, threads, shard_hook, false).0
+        let supply = ShardSupply::Materialized(trace, n_shards);
+        Self::run_sharded_inner(config, supply, threads, shard_hook, false).0
     }
 
     /// [`Simulator::run_parallel`] plus the merged metric registry.
@@ -492,32 +550,101 @@ impl Simulator {
         n_shards: usize,
         threads: usize,
     ) -> (SimReport, MetricRegistry) {
-        let (report, reg) = Self::run_sharded_inner(config, trace, n_shards, threads, |_| {}, true);
+        let supply = ShardSupply::Materialized(trace, n_shards);
+        let (report, reg) = Self::run_sharded_inner(config, supply, threads, |_| {}, true);
+        (report, reg.expect("observed run always yields a registry"))
+    }
+
+    /// Streaming, bounded-memory counterpart of
+    /// [`Simulator::run_sharded`]: no global trace is ever materialized.
+    ///
+    /// `make_shard(i)` must return the sub-trace of shard `i` of an
+    /// `n_shards`-way balanced split of a `num_users` population —
+    /// normally `PopulationConfig::generate_shard(i, n_shards)`, which is
+    /// byte-identical to `generate().split_users(n_shards)[i]`. Workers
+    /// claim shard indices from the work-stealing queue, generate the
+    /// shard's user range on the worker thread, simulate it, and drop the
+    /// sub-trace before claiming the next index — so at most `threads`
+    /// shards are resident at once and peak memory is
+    /// O(users-per-shard × threads) instead of O(population).
+    ///
+    /// The merged report is **bit-identical** to
+    /// [`Simulator::run_sharded`] on the materialized trace: shard
+    /// boundaries come from the same [`shard_ranges`] formula, per-shard
+    /// configs (RNG stream, budget share) depend only on the range sizes,
+    /// and reports merge in shard order. As with the materialized path,
+    /// `threads` never changes the result.
+    pub fn run_streaming(
+        config: &SystemConfig,
+        num_users: u32,
+        n_shards: usize,
+        threads: usize,
+        make_shard: impl Fn(usize) -> Trace + Sync,
+    ) -> SimReport {
+        let supply = ShardSupply::Streaming {
+            num_users,
+            n_shards,
+            make: &make_shard,
+        };
+        Self::run_sharded_inner(config, supply, threads, |_| {}, false).0
+    }
+
+    /// [`Simulator::run_streaming`] plus the merged metric registry.
+    ///
+    /// Alongside the usual `phase.*` spans the registry carries
+    /// `phase.trace_gen` (per-shard generation time) and, where the host
+    /// exposes it, the `proc.peak_rss_kb` high-water gauge — both outside
+    /// the deterministic snapshot, so observing the bound cannot perturb
+    /// equivalence checks.
+    pub fn run_streaming_observed(
+        config: &SystemConfig,
+        num_users: u32,
+        n_shards: usize,
+        threads: usize,
+        make_shard: impl Fn(usize) -> Trace + Sync,
+    ) -> (SimReport, MetricRegistry) {
+        let supply = ShardSupply::Streaming {
+            num_users,
+            n_shards,
+            make: &make_shard,
+        };
+        let (report, reg) = Self::run_sharded_inner(config, supply, threads, |_| {}, true);
         (report, reg.expect("observed run always yields a registry"))
     }
 
     fn run_sharded_inner(
         config: &SystemConfig,
-        trace: &Trace,
-        n_shards: usize,
+        supply: ShardSupply<'_>,
         threads: usize,
         shard_hook: impl Fn(usize) + Sync,
         observed: bool,
     ) -> (SimReport, Option<MetricRegistry>) {
-        let shards = trace.split_users(n_shards);
-        let n = shards.len();
+        let total_users = supply.num_users();
+        // Both supplies cut the population along the same shard_ranges
+        // boundaries, so everything derived from shard *sizes* (budget
+        // shares, RNG streams, merge order) is identical between them —
+        // the heart of the streaming/materialized equivalence.
+        let ranges = shard_ranges(total_users, supply.n_shards());
+        let n = ranges.len();
+        let shards: Vec<Trace> = match supply {
+            ShardSupply::Materialized(trace, n_shards) => {
+                let split = trace.split_users(n_shards);
+                debug_assert_eq!(split.len(), n);
+                split
+            }
+            ShardSupply::Streaming { .. } => Vec::new(),
+        };
         let threads = threads.clamp(1, n);
-        let total_users = trace.num_users();
-        let configs: Vec<SystemConfig> = shards
+        let configs: Vec<SystemConfig> = ranges
             .iter()
             .enumerate()
-            .map(|(i, shard)| {
+            .map(|(i, range)| {
                 let mut c = config.clone();
                 c.rng_stream = i as u64;
                 c.budget_fraction = if total_users == 0 {
                     1.0
                 } else {
-                    shard.num_users() as f64 / total_users as f64
+                    (range.end - range.start) as f64 / total_users as f64
                 };
                 c
             })
@@ -541,11 +668,32 @@ impl Simulator {
                 scope.spawn(|| {
                     while let Some(i) = queue.claim() {
                         shard_hook(i);
+                        // Streaming: materialize only this shard's user
+                        // range, on this worker, for the lifetime of this
+                        // iteration — the bounded-memory property.
+                        let gen_start = observed.then(std::time::Instant::now);
+                        let generated = match supply {
+                            ShardSupply::Materialized(..) => None,
+                            ShardSupply::Streaming { make, .. } => Some(make(i)),
+                        };
+                        let gen_ns = gen_start.map(|t0| t0.elapsed().as_nanos() as u64);
+                        let shard_trace: &Trace = match &generated {
+                            Some(t) => t,
+                            None => &shards[i],
+                        };
+                        debug_assert_eq!(
+                            shard_trace.num_users(),
+                            ranges[i].end - ranges[i].start,
+                            "shard source disagrees with shard_ranges on shard {i}"
+                        );
                         // Wall-clock spans are recorded only in observed
                         // mode; they are Time metrics, which never feed
                         // report hashes or determinism checks.
                         let setup_start = observed.then(std::time::Instant::now);
-                        let sim = Simulator::with_context(configs[i].clone(), &shards[i], &ctx);
+                        let sim = Simulator::with_context(configs[i].clone(), shard_trace, &ctx);
+                        if let Some(ns) = gen_ns.filter(|_| generated.is_some()) {
+                            sim.obs.add_time_ns("phase.trace_gen", ns);
+                        }
                         if let Some(t0) = setup_start {
                             sim.obs
                                 .add_time_ns("phase.shard_setup", t0.elapsed().as_nanos() as u64);
@@ -583,6 +731,12 @@ impl Simulator {
         if let (Some(m), Some(t0)) = (merged_reg.as_ref(), merge_start) {
             m.add_time_ns("phase.merge", t0.elapsed().as_nanos() as u64);
         }
+        if let Some(m) = merged_reg.as_ref() {
+            // The pipeline's memory high-water mark. A host fact, not a
+            // simulation outcome: it lives in the proc.* namespace, which
+            // deterministic snapshots exclude.
+            adpf_obs::record_peak_rss(m);
+        }
         (merged, merged_reg)
     }
 
@@ -595,10 +749,11 @@ impl Simulator {
                 self.gated_realtime_fetch(ci, now, category);
             }
             DeliveryMode::Prefetch => {
-                self.clients[ci].slot_times.push(now);
-                if let Some(ad) = self.clients[ci].take_displayable(now, self.config.replica_window)
+                self.clients.slot_times[ci].push(now);
+                if let Some(ad) =
+                    self.clients.cache[ci].take_displayable(now, self.config.replica_window)
                 {
-                    self.clients[ci].pending_reports.push((ad.id, now));
+                    self.clients.pending_reports[ci].push((ad.id, now));
                     self.impressions += 1;
                     self.cache_hits += 1;
                 } else if self.config.realtime_fallback {
@@ -613,7 +768,7 @@ impl Simulator {
                                 // radio still pays for the timeout.
                                 self.obs.inc(self.mid.netem_realtime_failures, 1);
                                 self.unfilled += 1;
-                                self.clients[ci].radio.stall(now, v.latency);
+                                self.clients.radio[ci].stall(now, v.latency);
                             }
                             verdict => {
                                 let latency =
@@ -647,11 +802,11 @@ impl Simulator {
             if !v.ok {
                 self.obs.inc(self.mid.netem_realtime_failures, 1);
                 self.unfilled += 1;
-                self.clients[ci].radio.stall(now, v.latency);
+                self.clients.radio[ci].stall(now, v.latency);
                 return;
             }
             if !v.latency.is_zero() {
-                self.clients[ci].radio.stall(now, v.latency);
+                self.clients.radio[ci].stall(now, v.latency);
             }
         }
         self.realtime_fetch(ci, now, category);
@@ -660,9 +815,7 @@ impl Simulator {
     /// Status-quo path: wake the radio, auction the slot in real time, and
     /// bill immediately.
     fn realtime_fetch(&mut self, ci: usize, now: SimTime, category: u8) {
-        self.clients[ci]
-            .radio
-            .transfer(now, self.config.ad_bytes_down, self.config.ad_bytes_up);
+        self.clients.radio[ci].transfer(now, self.config.ad_bytes_down, self.config.ad_bytes_up);
         self.realtime_fetches += 1;
         let offer = SlotOffer::realtime(now, Some(category));
         if let Some(sold) = self.exchange.run_auction(&offer) {
@@ -692,7 +845,7 @@ impl Simulator {
         // horizon flushes final reports.
         let next = now + self.config.prefetch_interval;
         if next <= self.horizon + self.config.prefetch_interval {
-            self.clients[ci].next_sync = next;
+            self.clients.next_sync[ci] = next;
             self.queue.push(next, Event::Sync(c));
         }
     }
@@ -720,10 +873,8 @@ impl Simulator {
         // spent the uplink overhead plus the timeout, and got nothing —
         // the wasted-wakeup energy the tail model makes expensive.
         self.obs.inc(self.mid.netem_sync_failures, 1);
-        self.clients[ci]
-            .radio
-            .transfer(now, 0, self.config.sync_overhead_bytes);
-        self.clients[ci].radio.stall(now, v.latency);
+        self.clients.radio[ci].transfer(now, 0, self.config.sync_overhead_bytes);
+        self.clients.radio[ci].stall(now, v.latency);
         self.schedule_retry(ci, now, attempt);
     }
 
@@ -740,7 +891,7 @@ impl Simulator {
         // horizon still flushes reports, anything later is pointless.
         if at <= self.horizon + self.config.prefetch_interval {
             self.obs.inc(self.mid.netem_retries_scheduled, 1);
-            self.clients[ci].retry_pending = true;
+            self.clients.retry_pending[ci] = true;
             self.queue.push(
                 at,
                 Event::Retry {
@@ -755,10 +906,10 @@ impl Simulator {
         let ci = c as usize;
         // A sync completed since this retry was scheduled (periodic or
         // piggybacked); the client has nothing left to retry.
-        if !self.clients[ci].retry_pending {
+        if !self.clients.retry_pending[ci] {
             return;
         }
-        self.clients[ci].retry_pending = false;
+        self.clients.retry_pending[ci] = false;
         self.attempt_sync(ci, now, attempt);
     }
 
@@ -776,7 +927,7 @@ impl Simulator {
     ) {
         let c = ci as u32;
         // This sync got through, so any outstanding retry is obsolete.
-        self.clients[ci].retry_pending = false;
+        self.clients.retry_pending[ci] = false;
         // New epoch: every per-client expected-rate memo entry from the
         // previous sync is now stale.
         self.sync_epoch += 1;
@@ -787,23 +938,19 @@ impl Simulator {
         //    next interval's slot pushes don't regrow from zero.
         std::mem::swap(
             &mut self.scratch_slot_times,
-            &mut self.clients[ci].slot_times,
+            &mut self.clients.slot_times[ci],
         );
-        let last = self.clients[ci].last_sync;
-        self.clients[ci]
-            .predictor
-            .observe(last, now, &self.scratch_slot_times);
+        let last = self.clients.last_sync[ci];
+        self.clients.predictor[ci].observe(last, now, &self.scratch_slot_times);
         self.scratch_slot_times.clear();
-        self.clients[ci].purge_expired(now);
+        self.clients.cache[ci].purge_expired(now);
 
         // 2. Sell the predicted slots of the next interval and place them.
         //    The sell margin scales how aggressively predictions convert
         //    into inventory; overbooking and cancellation contain the
         //    downside of overselling.
-        let predicted = self.clients[ci]
-            .predictor
-            .predict(now, self.config.prefetch_interval);
-        let have = self.clients[ci].primary_count() as i64;
+        let predicted = self.clients.predictor[ci].predict(now, self.config.prefetch_interval);
+        let have = self.clients.cache[ci].primary_count() as i64;
         let want = (predicted * self.config.sell_margin).round() as i64;
         let to_sell = (((want - have).max(0)) as u32).min(MAX_SELL_PER_SYNC);
         let mut delivered_primaries = 0u64;
@@ -833,17 +980,17 @@ impl Simulator {
             // rest are insurance replicas that display only after the
             // holder's own primaries.
             for (rank, &h) in holders.iter().enumerate() {
-                self.clients[h as usize].queued += 1;
+                self.clients.queued[h as usize] += 1;
                 let cached = CachedAd {
                     id: sold.id,
                     deadline,
                     replica: rank > 0,
                 };
                 if h as usize == ci {
-                    self.clients[ci].cache_insert(cached);
+                    self.clients.cache[ci].insert(cached);
                     delivered_primaries += 1;
                 } else {
-                    self.clients[h as usize].outbox.push(cached);
+                    self.clients.outbox[h as usize].push(cached);
                 }
             }
             // Re-score the pool entries of the replica holders just
@@ -875,39 +1022,38 @@ impl Simulator {
         //    transfer once the oldest has aged a full interval (they are
         //    billed by display timestamp, so bounded delay is safe within
         //    the expiry grace period).
-        let reports_urgent = self.clients[ci]
-            .pending_reports
+        let reports_urgent = self.clients.pending_reports[ci]
             .first()
             .map(|&(_, t)| now.saturating_since(t) >= self.config.prefetch_interval)
             .unwrap_or(false);
-        let reports_pending = !self.clients[ci].pending_reports.is_empty();
+        let reports_pending = !self.clients.pending_reports[ci].is_empty();
         let transfer = rt_fetch.is_some()
             || delivered_primaries > 0
             || (reports_pending && (reports_urgent || !self.config.defer_report_syncs))
             || !self.config.skip_empty_syncs;
         if !transfer {
             self.syncs_skipped += 1;
-            self.clients[ci].last_sync = now;
+            self.clients.last_sync[ci] = now;
             return;
         }
 
         // 5. The radio is waking up: apply queued cancellations, deliver
         //    outstanding replicas, and ship the impression reports.
         let cancellations = self.tracker.take_cancellations(c);
-        self.clients[ci].cancel(&cancellations);
-        std::mem::swap(&mut self.scratch_outbox, &mut self.clients[ci].outbox);
+        self.clients.cancel(ci, &cancellations);
+        std::mem::swap(&mut self.scratch_outbox, &mut self.clients.outbox[ci]);
         let mut delivered_replicas = 0u64;
         for i in 0..self.scratch_outbox.len() {
             let ad = self.scratch_outbox[i];
             if ad.deadline >= now {
-                self.clients[ci].cache_insert(ad);
+                self.clients.cache[ci].insert(ad);
                 delivered_replicas += 1;
             }
         }
         self.scratch_outbox.clear();
         std::mem::swap(
             &mut self.scratch_reports,
-            &mut self.clients[ci].pending_reports,
+            &mut self.clients.pending_reports[ci],
         );
         let report_count = self.scratch_reports.len() as u64;
         for i in 0..self.scratch_reports.len() {
@@ -921,7 +1067,7 @@ impl Simulator {
                 // accesses, so no defensive clone of the holder list.
                 if let Some(holders) = self.tracker.holders(ad.0) {
                     for &h in holders {
-                        let q = &mut self.clients[h as usize].queued;
+                        let q = &mut self.clients.queued[h as usize];
                         *q = q.saturating_sub(1);
                     }
                 }
@@ -935,14 +1081,14 @@ impl Simulator {
             delivered * self.config.ad_bytes_down + self.config.sync_overhead_bytes + rt_bytes.0;
         let up =
             report_count * self.config.ad_bytes_up + self.config.sync_overhead_bytes + rt_bytes.1;
-        self.clients[ci].radio.transfer(now, down, up);
+        self.clients.radio[ci].transfer(now, down, up);
         if !link_latency.is_zero() {
             // Degraded link: the round trip holds the radio active past
             // the payload time (queued behind the transfer just issued).
-            self.clients[ci].radio.stall(now, link_latency);
+            self.clients.radio[ci].stall(now, link_latency);
         }
         self.syncs += 1;
-        self.clients[ci].last_sync = now;
+        self.clients.last_sync[ci] = now;
     }
 
     /// Chooses the holders of an ad sold at client `origin`'s sync: the
@@ -966,8 +1112,8 @@ impl Simulator {
         pool_built: &mut bool,
     ) -> InlineVec<u32, { PLAN_INLINE + 1 }> {
         let lambda = self.cached_rate(origin, now, deadline);
-        let queued = self.clients[origin].queued;
-        let mean_session = self.clients[origin].predictor.mean_session_slots();
+        let queued = self.clients.queued[origin];
+        let mean_session = self.clients.predictor[origin].mean_session_slots();
         let p_origin = self
             .avail
             .display_probability_bursty(lambda, queued, mean_session);
@@ -1022,14 +1168,14 @@ impl Simulator {
                 continue;
             }
             taken += 1;
-            let start = self.clients[j].next_sync.max(window_open);
+            let start = self.clients.next_sync[j].max(window_open);
             if start >= deadline {
                 continue; // Cannot receive the ad in time; skip the
                           // rate evaluation entirely.
             }
             let lambda_j = self.cached_rate(j, start, deadline);
-            let queued_j = self.clients[j].queued;
-            let mean_session_j = self.clients[j].predictor.mean_session_slots();
+            let queued_j = self.clients.queued[j];
+            let mean_session_j = self.clients.predictor[j].mean_session_slots();
             let prob = self
                 .avail
                 .display_probability_bursty(lambda_j, queued_j, mean_session_j);
@@ -1052,7 +1198,7 @@ impl Simulator {
         for &h in holders.iter().skip(1) {
             if let Some(pos) = self.scratch_cands.iter().position(|c| c.client == h) {
                 let (lambda, mean_session) = self.scratch_meta[pos];
-                let queued = self.clients[h as usize].queued;
+                let queued = self.clients.queued[h as usize];
                 self.scratch_cands[pos].prob =
                     self.avail
                         .display_probability_bursty(lambda, queued, mean_session);
@@ -1072,9 +1218,7 @@ impl Simulator {
         if self.lambda_epoch[j] == self.sync_epoch {
             return self.lambda_cache[j];
         }
-        let rate = self.clients[j]
-            .predictor
-            .expected_rate(start, deadline.saturating_since(start));
+        let rate = self.clients.predictor[j].expected_rate(start, deadline.saturating_since(start));
         self.lambda_epoch[j] = self.sync_epoch;
         self.lambda_cache[j] = rate;
         rate
@@ -1150,7 +1294,7 @@ impl Simulator {
                 if holders.as_slice().contains(&(j as u32)) {
                     continue;
                 }
-                if self.clients[j].next_sync < deadline && net.reachable(j, now) {
+                if self.clients.next_sync[j] < deadline && net.reachable(j, now) {
                     target = Some(j as u32);
                     break;
                 }
@@ -1159,8 +1303,8 @@ impl Simulator {
                 Some(t) if self.tracker.rescue_to(ad, t) => {
                     self.obs.inc(self.mid.netem_ads_rescued, 1);
                     self.replicas_assigned += 1;
-                    self.clients[t as usize].queued += 1;
-                    self.clients[t as usize].outbox.push(CachedAd {
+                    self.clients.queued[t as usize] += 1;
+                    self.clients.outbox[t as usize].push(CachedAd {
                         id: AdId(ad),
                         deadline,
                         replica: true,
@@ -1180,7 +1324,7 @@ impl Simulator {
                     // Disjoint field borrows: read `tracker`, write
                     // `clients` — no clone needed.
                     for &h in holders {
-                        let q = &mut self.clients[h as usize].queued;
+                        let q = &mut self.clients.queued[h as usize];
                         *q = q.saturating_sub(1);
                     }
                 }
@@ -1194,7 +1338,7 @@ impl Simulator {
         // first); without this, genuinely displayed ads would be
         // misclassified as SLA violations.
         for ci in 0..self.clients.len() {
-            let reports = std::mem::take(&mut self.clients[ci].pending_reports);
+            let reports = std::mem::take(&mut self.clients.pending_reports[ci]);
             for (ad, t) in reports {
                 self.tracker.record_display(ad.0, ci as u32);
                 self.ledger.record_impression(ad, t);
@@ -1206,8 +1350,8 @@ impl Simulator {
         let mut energy = EnergyBreakdown::default();
         let mut per_user = Vec::with_capacity(self.clients.len());
         let flush_at = self.horizon + self.config.radio.tail_duration();
-        for c in &mut self.clients {
-            let e = c.radio.finish(flush_at);
+        for radio in &mut self.clients.radio {
+            let e = radio.finish(flush_at);
             per_user.push(e.total_j());
             e.publish_residency(&self.obs);
             energy.absorb(&e);
@@ -1590,8 +1734,20 @@ mod tests {
         assert_eq!(default_shards(321), 9);
         assert_eq!(default_shards(600), 15);
         assert_eq!(default_shards(1_693), 43);
-        // …up to the cap.
-        assert_eq!(default_shards(1_000_000), MAX_SHARDS);
+        // …up to the soft cap…
+        assert_eq!(default_shards(100_000), MAX_SHARDS);
+        // …which yields once it would breach the per-shard memory bound:
+        // a million users derive enough shards to keep every shard at or
+        // below MAX_USERS_PER_SHARD users, instead of 64 shards of
+        // ~15,600.
+        assert_eq!(default_shards(1_000_000), 489);
+        for users in [200_000u32, 500_000, 1_000_000, 5_000_000] {
+            let shards = default_shards(users);
+            assert!(
+                (users as usize).div_ceil(shards) <= MAX_USERS_PER_SHARD,
+                "{users} users / {shards} shards breaches the memory bound"
+            );
+        }
     }
 
     #[test]

@@ -231,13 +231,16 @@ impl MetricRegistry {
         out
     }
 
-    /// Snapshot restricted to deterministic kinds (everything except
-    /// wall-clock `Time`). Two runs of the same workload must produce
-    /// equal deterministic snapshots at any thread count.
+    /// Snapshot restricted to deterministic metrics: wall-clock `Time`
+    /// entries and host-fact metrics (the [`crate::rss::PROC_PREFIX`]
+    /// namespace — process RSS and friends, which vary run to run even
+    /// on identical workloads) are dropped. Two runs of the same
+    /// workload must produce equal deterministic snapshots at any
+    /// thread count.
     pub fn deterministic_snapshot(&self) -> Vec<MetricSnapshot> {
         self.snapshot()
             .into_iter()
-            .filter(|m| m.kind != MetricKind::Time)
+            .filter(|m| m.kind != MetricKind::Time && !m.name.starts_with(crate::rss::PROC_PREFIX))
             .collect()
     }
 }

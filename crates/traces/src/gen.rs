@@ -25,7 +25,7 @@ use adpf_stats::dist::{Discrete, Distribution, LogNormal, Poisson, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::model::{AppId, Session, Trace, UserId};
+use crate::model::{shard_ranges, AppId, Session, Trace, UserId};
 
 /// Population-wide sampling model, prebuilt once per generation run and
 /// shared read-only across worker threads (all fields are plain data).
@@ -195,6 +195,56 @@ impl PopulationConfig {
             sessions.append(&mut slot.into_inner().expect("generator slot poisoned"));
         }
         Trace::new(sessions, self.num_users, model.horizon)
+    }
+
+    /// Generates the trace of one shard of an `n_shards`-way balanced
+    /// split — the streaming pipeline's unit of work.
+    ///
+    /// Covers the users of [`shard_ranges`]`(self.num_users, n_shards)[shard]`,
+    /// remapped to dense local ids `0..len`, with the *global* horizon.
+    /// The result is **byte-identical** to
+    /// `self.generate().split_users(n_shards)[shard]` without ever
+    /// materializing the full population: sessions are clipped to the
+    /// configured horizon, so the global trace horizon equals the model
+    /// horizon used here; each user's stream is a pure function of
+    /// `(config, user)`; and [`Trace::new`]'s stable sort keys on
+    /// `(start, user, app)`, so ties (always within one user) keep the
+    /// same emission order both paths produce. Peak memory is
+    /// O(users-per-shard), not O(population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for the clamped shard count.
+    pub fn generate_shard(&self, shard: usize, n_shards: usize) -> Trace {
+        let ranges = shard_ranges(self.num_users, n_shards);
+        self.generate_user_range(ranges[shard].clone())
+    }
+
+    /// Generates the sub-trace of users `[users.start, users.end)`,
+    /// remapped to dense local ids `0..len`, with the global horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the population or the configuration is
+    /// degenerate (see [`PopulationConfig::generate`]).
+    pub fn generate_user_range(&self, users: core::ops::Range<u32>) -> Trace {
+        assert!(self.days > 0, "trace needs at least one day");
+        assert!(self.num_apps > 0, "marketplace needs at least one app");
+        assert!(
+            users.start <= users.end && users.end <= self.num_users,
+            "user range {users:?} exceeds population {}",
+            self.num_users
+        );
+        let model = self.model();
+        let mut sessions = Vec::new();
+        for user in users.clone() {
+            let before = sessions.len();
+            self.user_sessions(user, &model, &mut sessions);
+            for s in &mut sessions[before..] {
+                s.user = UserId(user - users.start);
+            }
+        }
+        Trace::new(sessions, users.end - users.start, model.horizon)
     }
 
     /// Builds the population-wide sampling model shared (read-only) by
@@ -436,5 +486,58 @@ mod tests {
         let mut cfg = PopulationConfig::small_test(5);
         cfg.num_users = 3;
         assert_eq!(cfg.generate(), cfg.generate_parallel(64));
+    }
+
+    #[test]
+    fn shard_generation_matches_materialize_then_split() {
+        // The streaming pipeline's core identity: generating shard i
+        // directly is byte-identical to materializing the population and
+        // splitting it. Covers uneven splits (7 % 3 != 0) and the
+        // n > users clamp.
+        let cfg = iphone_shaped();
+        let whole = cfg.generate();
+        for n in [1usize, 3, 7, 200] {
+            let split = whole.split_users(n);
+            assert_eq!(split.len(), shard_ranges(cfg.num_users, n).len());
+            for (i, expected) in split.iter().enumerate() {
+                assert_eq!(
+                    &cfg.generate_shard(i, n),
+                    expected,
+                    "shard {i} of {n} diverged from materialize-then-split"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_generation_covers_degenerate_populations() {
+        let mut cfg = PopulationConfig::small_test(5);
+        cfg.num_users = 0;
+        assert_eq!(cfg.generate_shard(0, 4), cfg.generate().split_users(4)[0]);
+        cfg.num_users = 1;
+        assert_eq!(cfg.generate_shard(0, 8), cfg.generate().split_users(8)[0]);
+    }
+
+    #[test]
+    fn user_range_generation_is_offset_invariant() {
+        // A range's sessions depend only on which users it covers, not on
+        // where it sits — the guarantee that lets shards generate lazily.
+        let cfg = PopulationConfig::small_test(17);
+        let full = cfg.generate_user_range(0..cfg.num_users);
+        assert_eq!(full, cfg.generate());
+        let tail = cfg.generate_user_range(30..40);
+        for s in tail.sessions() {
+            let original: Vec<_> = full
+                .sessions_for(UserId(s.user.0 + 30))
+                .map(|o| (o.app, o.start, o.duration))
+                .collect();
+            assert!(original.contains(&(s.app, s.start, s.duration)));
+        }
+        assert_eq!(
+            tail.sessions().len(),
+            (30..40)
+                .map(|u| full.sessions_for(UserId(u)).count())
+                .sum::<usize>()
+        );
     }
 }

@@ -37,5 +37,5 @@ pub mod stats;
 pub mod transform;
 
 pub use gen::PopulationConfig;
-pub use model::{AdSlot, AppId, Session, Trace, UserId};
+pub use model::{shard_ranges, AdSlot, AppId, Session, Trace, UserId, UserSlots};
 pub use stats::TraceStats;

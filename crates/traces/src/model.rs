@@ -55,6 +55,94 @@ pub struct AdSlot {
     pub time: SimTime,
 }
 
+/// The balanced contiguous user-id ranges of an `n_shards`-way population
+/// split.
+///
+/// This is the single source of truth for shard boundaries: both
+/// [`Trace::split_users`] (materialized splitting) and the streaming
+/// generator (`PopulationConfig::generate_shard`) use it, which is what
+/// makes the two pipelines cover byte-identical user ranges. Shard sizes
+/// differ by at most one user, with the earlier shards taking the
+/// remainder. `n_shards` is clamped to `[1, num_users]`; an empty
+/// population yields a single empty range.
+pub fn shard_ranges(num_users: u32, n_shards: usize) -> Vec<core::ops::Range<u32>> {
+    let users = num_users as usize;
+    // An empty population falls through to one 0..0 range: n clamps to
+    // 1, base and extra are both 0.
+    let n = n_shards.clamp(1, users.max(1));
+    let base = (users / n) as u32;
+    let extra = users % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut off = 0u32;
+    for i in 0..n {
+        let len = base + u32::from(i < extra);
+        ranges.push(off..off + len);
+        off += len;
+    }
+    ranges
+}
+
+/// Per-user slot times in a compact CSR (offsets + one flat array)
+/// layout.
+///
+/// Replaces the `Vec<Vec<SimTime>>` per-user layout on the simulator hot
+/// path: one allocation for the whole population instead of one per
+/// user, and each user's slot times are a contiguous `&[SimTime]` slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserSlots {
+    /// `offsets[u]..offsets[u + 1]` indexes `times` for user `u`.
+    offsets: Vec<u32>,
+    /// All slot times, grouped by user, time-ordered within each user.
+    times: Vec<SimTime>,
+}
+
+impl UserSlots {
+    /// Builds the CSR view from a time-ordered slot stream (as produced
+    /// by [`Trace::ad_slots`]). Slots with out-of-range user ids are
+    /// dropped, matching [`Trace::slots_by_user_from`].
+    pub fn from_slots(slots: &[AdSlot], num_users: u32) -> Self {
+        let n = num_users as usize;
+        let mut counts = vec![0u32; n + 1];
+        for slot in slots {
+            let idx = slot.user.0 as usize;
+            if idx < n {
+                counts[idx + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut times = vec![SimTime::ZERO; counts[n] as usize];
+        let mut cursor: Vec<u32> = counts[..n].to_vec();
+        for slot in slots {
+            let idx = slot.user.0 as usize;
+            if idx < n {
+                times[cursor[idx] as usize] = slot.time;
+                cursor[idx] += 1;
+            }
+        }
+        Self {
+            offsets: counts,
+            times,
+        }
+    }
+
+    /// Number of users the view covers.
+    pub fn num_users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Time-ordered slot times of user `u`.
+    pub fn user(&self, u: usize) -> &[SimTime] {
+        &self.times[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Total slot count across all users.
+    pub fn total_slots(&self) -> usize {
+        self.times.len()
+    }
+}
+
 /// A complete usage trace: sessions of a user population over a horizon.
 ///
 /// Sessions are kept sorted by start time (ties by user, then app), which
@@ -156,28 +244,31 @@ impl Trace {
     /// [`Trace::slots_by_user`] over an already-derived slot stream, for
     /// callers that need both views — deriving the stream once and
     /// splitting it costs half of deriving it twice.
+    ///
+    /// The simulator itself consumes the compact [`UserSlots`] CSR view;
+    /// this per-user `Vec` layout remains for the predictors and offline
+    /// evaluations, built on the same single-pass grouping.
     pub fn slots_by_user_from(slots: &[AdSlot], num_users: u32) -> Vec<Vec<SimTime>> {
-        let mut by_user: Vec<Vec<SimTime>> = vec![Vec::new(); num_users as usize];
-        for slot in slots {
-            let idx = slot.user.0 as usize;
-            if idx < by_user.len() {
-                by_user[idx].push(slot.time);
-            }
-        }
-        by_user
+        let csr = UserSlots::from_slots(slots, num_users);
+        (0..csr.num_users()).map(|u| csr.user(u).to_vec()).collect()
+    }
+
+    /// Per-user slot times as a compact CSR view — see [`UserSlots`].
+    pub fn user_slots(&self, refresh: SimDuration) -> UserSlots {
+        UserSlots::from_slots(&self.ad_slots(refresh), self.num_users)
     }
 
     /// Partitions the population into `n_shards` contiguous user-id
     /// ranges for sharded simulation.
     ///
     /// Shard `i` covers original users `[offset_i, offset_i + len_i)`
-    /// (offsets are the cumulative shard sizes, in order), remapped to the
-    /// dense range `0..len_i`, so each shard is itself a well-formed
-    /// [`Trace`]. Shard sizes are balanced: they differ by at most one
-    /// user, with the earlier shards taking the remainder. Every shard
-    /// keeps the *global* horizon, so time-driven schedules (sync
-    /// periods, expiry sweeps) run identically whether a user is
-    /// simulated in the whole trace or in their shard.
+    /// (the ranges come from [`shard_ranges`], shared with the streaming
+    /// generator), remapped to the dense range `0..len_i`, so each shard
+    /// is itself a well-formed [`Trace`]. Shard sizes are balanced: they
+    /// differ by at most one user, with the earlier shards taking the
+    /// remainder. Every shard keeps the *global* horizon, so time-driven
+    /// schedules (sync periods, expiry sweeps) run identically whether a
+    /// user is simulated in the whole trace or in their shard.
     ///
     /// `n_shards` is clamped to `[1, num_users]` (an empty trace yields a
     /// single empty shard): a shard is never left without users.
@@ -189,7 +280,8 @@ impl Trace {
         if users == 0 {
             return vec![Trace::new(Vec::new(), 0, self.horizon)];
         }
-        let n = n_shards.clamp(1, users);
+        let ranges = shard_ranges(self.num_users, n_shards);
+        let n = ranges.len();
         // The first `extra` shards hold `base + 1` users, the rest `base`;
         // a user's shard is therefore computable in O(1), so sessions are
         // routed in one pass over the trace instead of one filtering scan
@@ -197,13 +289,6 @@ impl Trace {
         let base = users / n;
         let extra = users % n;
         let wide = (extra * (base + 1)) as u32; // First user id in a base-sized shard.
-        let offsets: Vec<u32> = (0..n)
-            .scan(0u32, |off, i| {
-                let here = *off;
-                *off += (base + usize::from(i < extra)) as u32;
-                Some(here)
-            })
-            .collect();
         let mut per_shard: Vec<Vec<Session>> = (0..n)
             .map(|i| Vec::with_capacity(self.sessions.len() / n + usize::from(i < extra)))
             .collect();
@@ -218,17 +303,14 @@ impl Trace {
                 extra + ((u - wide) as usize) / base
             };
             per_shard[shard].push(Session {
-                user: UserId(u - offsets[shard]),
+                user: UserId(u - ranges[shard].start),
                 ..*s
             });
         }
         per_shard
             .into_iter()
-            .enumerate()
-            .map(|(i, sessions)| {
-                let len = (base + usize::from(i < extra)) as u32;
-                Trace::new(sessions, len, self.horizon)
-            })
+            .zip(&ranges)
+            .map(|(sessions, range)| Trace::new(sessions, range.end - range.start, self.horizon))
             .collect()
     }
 
@@ -406,6 +488,63 @@ mod tests {
         let shards = t.split_users(1);
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0], t);
+    }
+
+    #[test]
+    fn shard_ranges_agree_with_split_users() {
+        for (users, n) in [(7u32, 3usize), (10, 2), (2, 100), (5, 1), (40, 8)] {
+            let sessions: Vec<Session> = (0..users).map(|u| s(u, 0, u as u64 * 100, 95)).collect();
+            let t = Trace::new(sessions, users, SimTime::ZERO);
+            let shards = t.split_users(n);
+            let ranges = shard_ranges(users, n);
+            assert_eq!(shards.len(), ranges.len());
+            for (shard, range) in shards.iter().zip(&ranges) {
+                assert_eq!(shard.num_users(), range.end - range.start);
+            }
+            // Ranges are contiguous and cover the population exactly.
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, users);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_handles_empty_population() {
+        assert_eq!(shard_ranges(0, 4), vec![0..0]);
+        assert_eq!(shard_ranges(1, 4), vec![0..1]);
+    }
+
+    #[test]
+    fn user_slots_matches_vec_of_vecs_layout() {
+        let t = Trace::new(
+            vec![s(0, 0, 0, 65), s(1, 1, 10, 5), s(0, 1, 200, 5)],
+            3, // User 2 has no sessions.
+            SimTime::ZERO,
+        );
+        let refresh = SimDuration::from_secs(30);
+        let by_user = t.slots_by_user(refresh);
+        let csr = t.user_slots(refresh);
+        assert_eq!(csr.num_users(), 3);
+        assert_eq!(
+            csr.total_slots(),
+            by_user.iter().map(Vec::len).sum::<usize>()
+        );
+        for (u, times) in by_user.iter().enumerate() {
+            assert_eq!(csr.user(u), times.as_slice(), "user {u} slot times");
+        }
+    }
+
+    #[test]
+    fn user_slots_drops_out_of_range_ids() {
+        let slots = [AdSlot {
+            user: UserId(9),
+            app: AppId(0),
+            time: SimTime::from_secs(1),
+        }];
+        let csr = UserSlots::from_slots(&slots, 2);
+        assert_eq!(csr.total_slots(), 0);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Streaming-vs-materialized equivalence: the bounded-memory pipeline
+//! (`Simulator::run_streaming`, per-shard lazy generation) must produce
+//! **byte-identical** reports to the classic materialize-then-split
+//! pipeline on the same `(config, population)` — at every thread count,
+//! for every shard count, including degenerate populations.
+
+use adpf_bench::baseline::BaselineWorkload;
+use adpf_core::{default_shards, Simulator, SystemConfig};
+use adpf_netem::NetemConfig;
+use adpf_traces::PopulationConfig;
+
+/// Runs both pipelines over `pop` with `cfg` and asserts equal reports.
+fn assert_equivalent(pop: &PopulationConfig, cfg: &SystemConfig, n_shards: usize, threads: usize) {
+    let trace = pop.generate();
+    let materialized = Simulator::run_sharded(cfg, &trace, n_shards, threads);
+    let streamed = Simulator::run_streaming(cfg, pop.num_users, n_shards, threads, |i| {
+        pop.generate_shard(i, n_shards)
+    });
+    assert_eq!(
+        materialized, streamed,
+        "streaming diverged ({n_shards} shards, {threads} threads, {} users)",
+        pop.num_users
+    );
+}
+
+#[test]
+fn streaming_matches_materialized_at_1_2_8_threads() {
+    let pop = PopulationConfig::small_test(777);
+    let cfg = SystemConfig::prefetch_default(5);
+    let n_shards = default_shards(pop.num_users);
+    for threads in [1usize, 2, 8] {
+        assert_equivalent(&pop, &cfg, n_shards, threads);
+    }
+}
+
+#[test]
+fn streaming_hash_equals_the_committed_smoke_golden() {
+    // The acceptance pin: the streaming path reproduces the exact smoke
+    // report hash recorded by the materialized pipeline in PR 2.
+    let wl = BaselineWorkload::smoke();
+    let pop = wl.population();
+    let cfg = wl.config();
+    let n_shards = default_shards(pop.num_users);
+    let streamed = Simulator::run_streaming(&cfg, pop.num_users, n_shards, 2, |i| {
+        pop.generate_shard(i, n_shards)
+    });
+    assert_eq!(
+        adpf_bench::baseline::report_hash(&streamed),
+        0xba08_fcf9_274d_6de0,
+        "streaming run drifted off the committed smoke golden"
+    );
+}
+
+#[test]
+fn streaming_report_is_independent_of_thread_count() {
+    let pop = PopulationConfig::small_test(777);
+    let cfg = SystemConfig::prefetch_default(5);
+    let n_shards = default_shards(pop.num_users);
+    let run = |threads| {
+        Simulator::run_streaming(&cfg, pop.num_users, n_shards, threads, |i| {
+            pop.generate_shard(i, n_shards)
+        })
+    };
+    let one = run(1);
+    assert_eq!(one, run(2));
+    assert_eq!(one, run(8));
+}
+
+#[test]
+fn streaming_matches_materialized_under_netem_and_marketplace() {
+    // The equivalence must also hold when per-shard RNG streams are
+    // heavily exercised: a flaky network plus a paced marketplace.
+    let mut pop = PopulationConfig::small_test(31);
+    pop.num_users = 50;
+    let mut cfg = SystemConfig::prefetch_default(9);
+    cfg.netem = NetemConfig::flaky_cellular();
+    cfg.marketplace = adpf_auction::MarketplaceConfig::paced();
+    assert_equivalent(&pop, &cfg, default_shards(pop.num_users), 2);
+}
+
+#[test]
+fn streaming_handles_zero_user_population() {
+    let mut pop = PopulationConfig::small_test(1);
+    pop.num_users = 0;
+    let cfg = SystemConfig::prefetch_default(5);
+    for threads in [1usize, 4] {
+        assert_equivalent(&pop, &cfg, default_shards(0), threads);
+    }
+}
+
+#[test]
+fn streaming_handles_one_user_population() {
+    let mut pop = PopulationConfig::small_test(3);
+    pop.num_users = 1;
+    let cfg = SystemConfig::prefetch_default(5);
+    for threads in [1usize, 4] {
+        assert_equivalent(&pop, &cfg, default_shards(1), threads);
+    }
+}
+
+#[test]
+fn streaming_handles_shard_count_above_user_count() {
+    // Requested shard counts clamp to the population in both pipelines.
+    let mut pop = PopulationConfig::small_test(7);
+    pop.num_users = 5;
+    let cfg = SystemConfig::prefetch_default(5);
+    assert_equivalent(&pop, &cfg, 64, 2);
+}
+
+#[test]
+fn observed_streaming_matches_plain_streaming_and_records_rss() {
+    let pop = PopulationConfig::small_test(777);
+    let cfg = SystemConfig::prefetch_default(5);
+    let n_shards = default_shards(pop.num_users);
+    let plain = Simulator::run_streaming(&cfg, pop.num_users, n_shards, 2, |i| {
+        pop.generate_shard(i, n_shards)
+    });
+    let (observed, reg) =
+        Simulator::run_streaming_observed(&cfg, pop.num_users, n_shards, 2, |i| {
+            pop.generate_shard(i, n_shards)
+        });
+    assert_eq!(plain, observed, "metrics export changed a streaming run");
+    // Generation happens inside the pipeline now, so the observed run
+    // carries its span; on procfs hosts the RSS high-water gauge rides
+    // along (outside the deterministic snapshot — see adpf-obs).
+    assert!(reg.time_ns("phase.trace_gen") > 0);
+    if adpf_obs::peak_rss_kb().is_some() {
+        assert!(reg.gauge_value(adpf_obs::PEAK_RSS_METRIC) > 0);
+    }
+    assert!(reg
+        .deterministic_snapshot()
+        .iter()
+        .all(|m| !m.name.starts_with(adpf_obs::PROC_PREFIX)));
+}
