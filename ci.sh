@@ -22,12 +22,18 @@
 # re-materializes the full trace before sharding. Skips with exit 0 on
 # hosts without a readable /proc.
 #
+# The serving gate replays the smoke trace's event stream over stdin into
+# the online `serve` binary: the final report hash must equal the same
+# committed golden (the server is the batch engine behind a socket), and
+# the decision-latency percentiles must have been recorded.
+#
 # The full run also greps library crates for stray stdout/stderr printing:
 # all human-facing output belongs to the bench binaries, libraries speak
 # through return values and the metric registry.
 set -eux
 
 SMOKE_GOLDEN="smoke-hash: ba08fcf9274d6de0"
+SERVE_GOLDEN="report-hash: ba08fcf9274d6de0"
 
 perf_smoke() {
     # The baseline binary runs with the marketplace off (the default), so
@@ -63,22 +69,38 @@ perf_obs() {
     test "$(head -n 1 target/obs_check.out)" = "$SMOKE_GOLDEN"
 }
 
+perf_serve() {
+    # Closed loop over stdin: generate the smoke event stream, serve it,
+    # and hold the served report to the shared golden. The latency line
+    # must carry a recorded p99 (every request lands in the histogram).
+    ./target/release/tracegen --preset small --seed 777 --events \
+        | ./target/release/serve --seed 5 --threads 2 > target/serve_smoke.out
+    cat target/serve_smoke.out
+    test "$(grep '^report-hash:' target/serve_smoke.out)" = "$SERVE_GOLDEN"
+    grep -q '^serve: latency_us p50=[0-9]* p95=[0-9]* p99=[0-9]*$' target/serve_smoke.out
+    grep -q '^serve: .*ingest_errors=0' target/serve_smoke.out
+}
+
 no_library_prints() {
     # Library crates must not print; the only print!/println!/eprintln!
-    # call sites allowed are the bench binaries (crates/bench/src/bin/).
+    # call sites allowed are the bench and serve binaries
+    # (crates/{bench,serve}/src/bin/).
     if grep -rnE '(^|[^a-zA-Z_])(e?println!|print!)\(' crates/*/src \
-        --include='*.rs' | grep -v '^crates/bench/src/bin/'; then
+        --include='*.rs' \
+        | grep -v '^crates/bench/src/bin/' \
+        | grep -v '^crates/serve/src/bin/'; then
         echo "library crates must not print; route output through adpf-obs" >&2
         exit 1
     fi
 }
 
 if [ "${1:-}" = "quick" ]; then
-    cargo build --release -p adpf-bench
+    cargo build --release -p adpf-bench -p adpf-serve
     perf_smoke
     perf_obs
     perf_scaling
     perf_mem
+    perf_serve
     marketplace_gates
     exit 0
 fi
@@ -92,3 +114,4 @@ perf_smoke
 perf_obs
 perf_scaling
 perf_mem
+perf_serve

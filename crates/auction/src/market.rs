@@ -42,6 +42,16 @@ pub enum PricingRule {
 }
 
 impl PricingRule {
+    /// Resolves a CLI pricing-rule name (`first`, `second`). The
+    /// canonical name set shared by the `simulate` and `serve` binaries.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "first" => PricingRule::FirstPrice,
+            "second" => PricingRule::SecondPrice,
+            other => return Err(format!("unknown pricing rule `{other}`")),
+        })
+    }
+
     /// Stable label for report headers and tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -236,6 +246,17 @@ pub struct MarketplaceConfig {
 }
 
 impl MarketplaceConfig {
+    /// Resolves a CLI regime name (`off`, `static`, `paced`). The
+    /// canonical name set shared by the `simulate` and `serve` binaries.
+    pub fn parse_regime(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "off" => MarketplaceConfig::disabled(),
+            "static" => MarketplaceConfig::static_exchange(),
+            "paced" => MarketplaceConfig::paced(),
+            other => return Err(format!("unknown marketplace regime `{other}`")),
+        })
+    }
+
     /// The static exchange: marketplace layer off (the default).
     pub fn disabled() -> Self {
         Self {

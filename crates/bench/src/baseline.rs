@@ -58,6 +58,22 @@ impl BaselineWorkload {
         }
     }
 
+    /// The online-serving workload (`--workload serve`): the smoke
+    /// trace serialized to the wire protocol and replayed through
+    /// [`adpf_serve::serve`]. Same seeds as [`BaselineWorkload::smoke`],
+    /// so every recorded serve entry is held to the batch smoke golden
+    /// hash — the throughput columns measure the ingest path, not a
+    /// different simulation.
+    pub fn serve_smoke() -> Self {
+        Self {
+            name: "serve-smoke-777",
+            users: 0, // Population comes from `small_test`; users unused.
+            days: 0,
+            trace_seed: 777,
+            config_seed: 5,
+        }
+    }
+
     /// A population-scale workload for the streaming pipeline: too big
     /// to measure comfortably materialized, routine when each shard
     /// generates and consumes its own user range.
@@ -105,7 +121,7 @@ impl BaselineWorkload {
     /// [`PopulationConfig::generate_shard`] per shard. Both produce the
     /// same users, so the two pipelines stay hash-comparable.
     pub fn population(&self) -> PopulationConfig {
-        if self.name.starts_with("smoke") {
+        if self.name.contains("smoke") {
             PopulationConfig::small_test(self.trace_seed)
         } else {
             PopulationConfig {
@@ -173,12 +189,35 @@ pub struct BaselineMeasurement {
     pub peak_rss_mb: f64,
     /// FNV-1a hash of the canonical report bytes (determinism witness).
     pub report_hash: u64,
+    /// Serving-path columns, present only for measurements taken
+    /// through [`measure_serve`]; batch and streaming entries keep the
+    /// historical line shape exactly.
+    pub serve: Option<ServeColumns>,
+}
+
+/// The serve-only measurement columns: request throughput and the
+/// enqueue-to-decision latency percentiles (upper bounds of the log2
+/// histogram buckets, see `adpf_obs::Histogram::quantile_upper_bound`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeColumns {
+    /// Slot events decided by the server.
+    pub requests: u64,
+    /// `requests / wall_s`.
+    pub requests_per_sec: f64,
+    /// Median decision latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile decision latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile decision latency, microseconds.
+    pub p99_us: u64,
 }
 
 impl BaselineMeasurement {
     /// Serializes the measurement as one JSON object on a single line.
+    /// Serve-path entries append their extra columns after
+    /// `report_hash`; every other entry keeps the historical shape.
     pub fn to_json_line(&self) -> String {
-        format!(
+        let mut line = format!(
             concat!(
                 "{{\"label\":\"{}\",\"workload\":\"{}\",\"threads\":{},",
                 "\"cpus\":{},",
@@ -187,7 +226,7 @@ impl BaselineMeasurement {
                 "\"ads_placed\":{},\"ads_placed_per_sec\":{:.0},",
                 "\"obs_overhead_pct\":{:.2},",
                 "\"peak_rss_mb\":{:.1},",
-                "\"report_hash\":\"{:016x}\"}}"
+                "\"report_hash\":\"{:016x}\""
             ),
             self.label,
             self.workload,
@@ -202,7 +241,18 @@ impl BaselineMeasurement {
             self.obs_overhead_pct,
             self.peak_rss_mb,
             self.report_hash,
-        )
+        );
+        if let Some(s) = &self.serve {
+            line.push_str(&format!(
+                concat!(
+                    ",\"requests\":{},\"requests_per_sec\":{:.0},",
+                    "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}"
+                ),
+                s.requests, s.requests_per_sec, s.p50_us, s.p95_us, s.p99_us
+            ));
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -257,6 +307,55 @@ pub fn measure_streaming(
     m
 }
 
+/// Replays `workload`'s trace through the online serving path
+/// ([`adpf_serve::serve`]) and measures it: the load-generator half of
+/// the closed loop, run in-process so the measurement excludes socket
+/// transport and times parse + route + decide alone.
+///
+/// The trace is generated and serialized to the wire protocol up front
+/// (both charged to `gen_wall_s`); `wall_s` covers only the server
+/// draining the in-memory stream. The serve report is bit-identical to
+/// the batch run of the same workload (`tests/serving.rs` proves it;
+/// the recorded `report_hash` column is held to the same golden), and
+/// the extra [`ServeColumns`] carry requests/s plus the p50/p95/p99
+/// decision latencies from the server's log2 histogram.
+pub fn measure_serve(
+    workload: &BaselineWorkload,
+    threads: usize,
+    label: &str,
+) -> BaselineMeasurement {
+    let cfg = workload.config();
+    let t_gen = Instant::now();
+    let trace = workload.trace_threads(threads);
+    let mut stream = Vec::new();
+    adpf_serve::write_events(&trace, cfg.ad_refresh, &mut stream)
+        .expect("in-memory serialization cannot fail");
+    let gen_wall_s = t_gen.elapsed().as_secs_f64();
+    let mut opts = adpf_serve::ServeOptions::new(cfg);
+    opts.threads = threads;
+    opts.error_sample = 0;
+    let t0 = Instant::now();
+    let out = adpf_serve::serve(&opts, stream.as_slice())
+        .expect("a generated trace stream always ingests cleanly");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut m = measurement_from(&out.report, workload, threads, label, wall_s);
+    m.gen_wall_s = gen_wall_s;
+    m.peak_rss_mb = peak_rss_mb();
+    let q = |p: f64| {
+        out.registry
+            .histogram_snapshot(adpf_serve::DECISION_LATENCY_METRIC)
+            .map_or(0, |h| h.quantile_upper_bound(p))
+    };
+    m.serve = Some(ServeColumns {
+        requests: out.requests,
+        requests_per_sec: out.requests as f64 / wall_s.max(1e-9),
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+    });
+    m
+}
+
 /// Host CPU count as stamped into measurements (0 when undetectable).
 pub fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -292,6 +391,7 @@ pub fn measurement_from(
         obs_overhead_pct: 0.0,
         peak_rss_mb: 0.0,
         report_hash: report_hash(report),
+        serve: None,
     }
 }
 
@@ -355,82 +455,11 @@ pub fn measure_obs_overhead(reps: usize) -> ObsOverhead {
 ///
 /// Any change to any simulated outcome — a counter, a float bit, a
 /// per-user energy entry — changes this hash, which is what makes it a
-/// cheap determinism witness for perf work.
+/// cheap determinism witness for perf work. Delegates to
+/// [`SimReport::stable_hash`], where the canonical serialization now
+/// lives so `adpf-serve` can hash reports without depending on bench.
 pub fn report_hash(r: &SimReport) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write(r.config.as_bytes());
-    h.write_u64(r.users as u64);
-    h.write_u64(r.days as u64);
-    h.write_u64(r.slots);
-    h.write_u64(r.impressions);
-    h.write_u64(r.cache_hits);
-    h.write_u64(r.realtime_fetches);
-    h.write_u64(r.unfilled);
-    h.write_f64(r.energy.promotion_j);
-    h.write_f64(r.energy.transfer_j);
-    h.write_f64(r.energy.tail_j);
-    h.write_u64(r.energy.transfers);
-    h.write_u64(r.energy.promotions);
-    h.write_u64(r.energy.bytes_down);
-    h.write_u64(r.energy.bytes_up);
-    h.write_u64(r.energy.active_time.as_millis());
-    h.write_u64(r.syncs);
-    h.write_u64(r.syncs_skipped);
-    h.write_u64(r.syncs_dropped);
-    h.write_u64(r.replicas_assigned);
-    // Netem counters fold in only when any is nonzero: netem-off runs
-    // keep the exact pre-netem byte stream, so recorded golden hashes
-    // (e.g. the ci.sh smoke golden) stay valid.
-    if r.netem != adpf_core::NetemCounters::default() {
-        h.write_u64(r.netem.sync_failures);
-        h.write_u64(r.netem.retries_scheduled);
-        h.write_u64(r.netem.retries_succeeded);
-        h.write_u64(r.netem.syncs_abandoned);
-        h.write_u64(r.netem.realtime_failures);
-        h.write_u64(r.netem.ads_rescued);
-        h.write_u64(r.netem.rescues_unplaced);
-    }
-    h.write_u64(r.per_user_energy_j.len() as u64);
-    for &e in &r.per_user_energy_j {
-        h.write_f64(e);
-    }
-    h.write_u64(r.ledger.sold);
-    h.write_u64(r.ledger.billed);
-    h.write_f64(r.ledger.revenue);
-    h.write_f64(r.ledger.sold_value);
-    h.write_u64(r.ledger.expired);
-    h.write_f64(r.ledger.refunded);
-    h.write_u64(r.ledger.duplicates);
-    h.write_u64(r.ledger.late_displays);
-    h.finish()
-}
-
-/// 64-bit FNV-1a, dependency-free and stable across platforms.
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    fn new() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
+    r.stable_hash()
 }
 
 /// Extracts the entry lines of an existing `BENCH_baseline.json`.
@@ -531,6 +560,7 @@ mod tests {
             obs_overhead_pct: 1.25,
             peak_rss_mb: 123.4,
             report_hash: 0xdead_beef,
+            serve: None,
         };
         let file = render_file(&[m.to_json_line()]);
         let lines = parse_entry_lines(&file);
@@ -615,6 +645,38 @@ mod tests {
             BaselineWorkload::smoke().population(),
             adpf_traces::PopulationConfig::small_test(777)
         );
+    }
+
+    #[test]
+    fn serve_measure_reproduces_the_batch_hash_and_stamps_latency_columns() {
+        let batch = measure(&BaselineWorkload::smoke(), 1, "t");
+        let m = measure_serve(&BaselineWorkload::serve_smoke(), 2, "t");
+        assert_eq!(
+            m.report_hash, batch.report_hash,
+            "serving the replayed stream must reproduce the batch report"
+        );
+        assert_eq!(m.events, batch.events, "event accounting must agree");
+        let s = m.serve.expect("serve measurements carry serve columns");
+        assert!(s.requests > 0 && s.requests_per_sec > 0.0);
+        // Sub-microsecond decisions land in the zero bucket, so the
+        // quantiles are only guaranteed monotone, not strictly positive.
+        assert!(
+            s.p50_us <= s.p95_us && s.p95_us <= s.p99_us,
+            "quantiles must be monotone: {s:?}"
+        );
+        // Serve columns ride alongside the existing ones in the line.
+        let line = m.to_json_line();
+        for key in [
+            "requests_per_sec",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "events_per_sec",
+        ] {
+            assert!(line.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        // Batch entries keep the historical line shape exactly.
+        assert!(!batch.to_json_line().contains("p99_us"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! baseline --label pre-change             # measure and append to BENCH_baseline.json
 //! baseline --label post --threads-list 1,2,4,8
 //! baseline --label scale --workload scale-100k --stream --threads-list 1
+//! baseline --label serving --workload serve --threads-list 2  # adds requests/s + latency columns
 //! baseline --smoke                        # CI gate: print the smoke report hash
 //! baseline --scaling-check                # CI gate: 4 threads must beat 1 thread
 //! baseline --obs-check --metrics-out m.jsonl  # CI gate: metrics change nothing
@@ -41,7 +42,8 @@
 use std::process::ExitCode;
 
 use adpf_bench::baseline::{
-    append_to_file, host_cpus, measure, measure_obs_overhead, measure_streaming, BaselineWorkload,
+    append_to_file, host_cpus, measure, measure_obs_overhead, measure_serve, measure_streaming,
+    BaselineWorkload,
 };
 use adpf_core::Simulator;
 use adpf_obs::{to_json_lines, validate_json_lines};
@@ -110,7 +112,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: baseline [--smoke] [--scaling-check] [--obs-check] [--mem-check] \
                      [--label NAME] [--out PATH] [--metrics-out PATH] \
-                     [--workload e14|smoke|memcheck|scale-100k|scale-1m] [--stream] \
+                     [--workload e14|smoke|serve|memcheck|scale-100k|scale-1m] [--stream] \
                      [--threads-list 1,2,4,8]"
                 );
                 return ExitCode::SUCCESS;
@@ -270,20 +272,28 @@ fn main() -> ExitCode {
     let w = match workload.as_str() {
         "e14" => BaselineWorkload::e14_style(),
         "smoke" => BaselineWorkload::smoke(),
+        "serve" => BaselineWorkload::serve_smoke(),
         "memcheck" => BaselineWorkload::mem_check(),
         "scale-100k" => BaselineWorkload::scale_100k(),
         "scale-1m" => BaselineWorkload::scale_1m(),
         other => {
-            eprintln!("unknown workload `{other}` (e14|smoke|memcheck|scale-100k|scale-1m)");
+            eprintln!("unknown workload `{other}` (e14|smoke|serve|memcheck|scale-100k|scale-1m)");
             return ExitCode::FAILURE;
         }
     };
+    let serve_mode = workload == "serve";
+    if serve_mode && stream {
+        eprintln!("--workload serve replays through the server; it has no --stream variant");
+        return ExitCode::FAILURE;
+    }
     // Stamp every recorded entry with the smoke-workload observation
     // overhead, so the perf trajectory tracks what metrics cost too.
     let obs_overhead = measure_obs_overhead(OBS_REPS);
     let mut measurements = Vec::new();
     for &threads in &threads_list {
-        let mut m = if stream {
+        let mut m = if serve_mode {
+            measure_serve(&w, threads, &label)
+        } else if stream {
             measure_streaming(&w, threads, &label)
         } else {
             measure(&w, threads, &label)
@@ -303,6 +313,12 @@ fn main() -> ExitCode {
             m.peak_rss_mb,
             m.report_hash
         );
+        if let Some(s) = &m.serve {
+            println!(
+                "  serve: {:.0} requests/s over {} requests, latency_us p50={} p95={} p99={}",
+                s.requests_per_sec, s.requests, s.p50_us, s.p95_us, s.p99_us
+            );
+        }
         measurements.push(m);
     }
     if let Err(e) = append_to_file(&out, &measurements) {

@@ -19,14 +19,18 @@
 //! given trace and seed is identical at every thread count.
 //!
 //! `--stream` switches to the bounded-memory pipeline
-//! ([`Simulator::run_streaming`]): each shard generates its own user
+//! ([`Simulator::run_streaming`]): each shard materializes its own user
 //! range on the worker that consumes it, so the full trace never exists
 //! in memory and peak RSS stays O(users-per-shard × threads) instead of
-//! O(population). Combined with `--users`/`--days` overrides this makes
-//! million-user runs routine:
+//! O(population). With a synthetic preset each shard *generates* its
+//! range; with `--trace` each shard *re-reads the file* keeping only
+//! its range (`csv::read_trace_shard`), so recorded traces far larger
+//! than RAM replay the same way. Combined with `--users`/`--days`
+//! overrides this makes million-user synthetic runs routine:
 //!
 //! ```text
 //! simulate --stream --preset iphone --users 1000000 --days 1 --mode prefetch
+//! simulate --stream --trace recorded.csv --mode both
 //! ```
 //!
 //! Streaming reports are byte-identical to the default path on the same
@@ -42,7 +46,7 @@ use adpf_bench::cli::{
 use adpf_core::{default_shards, DeliveryMode, SimReport, Simulator};
 use adpf_energy::BatteryModel;
 use adpf_obs::{render_table, to_json_lines, MetricRegistry, ObsSink};
-use adpf_traces::{csv, Trace};
+use adpf_traces::{csv, shard_ranges, PopulationConfig, Trace};
 
 fn usage() {
     eprintln!(
@@ -68,6 +72,88 @@ fn load_trace(o: &SimulateOpts) -> Result<Trace, String> {
     // Generation parallelizes over the same thread budget as the
     // simulation, and is byte-identical at any count.
     Ok(build_population(o)?.generate_parallel(o.threads))
+}
+
+/// Where the slot events come from: the three supply modes of the CLI.
+enum Source {
+    /// The default path: a fully materialized trace.
+    Trace(Trace),
+    /// `--stream` with a synthetic preset: shards regenerate their
+    /// user range on the worker that consumes it. Boxed so the rare
+    /// streaming variant doesn't inflate the common `Trace` one.
+    Synthetic(Box<PopulationConfig>),
+    /// `--stream --trace`: shards re-read the CSV file, keeping only
+    /// their own user range, so peak memory is O(users-per-shard ×
+    /// threads) no matter how large the recording is.
+    File {
+        path: String,
+        users: u32,
+        horizon_ms: u64,
+    },
+}
+
+/// Runs one config against the source, on the pipeline the source
+/// implies; returns the registry only when `observed`.
+fn run_source(
+    cfg: &adpf_core::SystemConfig,
+    source: &Source,
+    threads: usize,
+    observed: bool,
+) -> (SimReport, Option<MetricRegistry>) {
+    match source {
+        Source::Trace(t) => {
+            if observed {
+                let (r, reg) = Simulator::run_parallel_observed(cfg, t, threads);
+                (r, Some(reg))
+            } else {
+                (Simulator::run_parallel(cfg, t, threads), None)
+            }
+        }
+        Source::Synthetic(p) => {
+            let n = default_shards(p.num_users);
+            let make = |i: usize| p.generate_shard(i, n);
+            if observed {
+                let (r, reg) =
+                    Simulator::run_streaming_observed(cfg, p.num_users, n, threads, make);
+                (r, Some(reg))
+            } else {
+                (
+                    Simulator::run_streaming(cfg, p.num_users, n, threads, make),
+                    None,
+                )
+            }
+        }
+        Source::File {
+            path,
+            users,
+            horizon_ms,
+        } => {
+            let n = default_shards(*users);
+            let ranges = shard_ranges(*users, n);
+            // Workers re-open the file per shard; a read failure here is
+            // unrecoverable mid-pipeline (the file was validated by
+            // trace_dims at startup), so fail the whole process.
+            let make = |i: usize| {
+                let file = File::open(path).unwrap_or_else(|e| {
+                    eprintln!("cannot reopen {path}: {e}");
+                    std::process::exit(1)
+                });
+                csv::read_trace_shard(file, ranges[i].clone(), *horizon_ms).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1)
+                })
+            };
+            if observed {
+                let (r, reg) = Simulator::run_streaming_observed(cfg, *users, n, threads, make);
+                (r, Some(reg))
+            } else {
+                (
+                    Simulator::run_streaming(cfg, *users, n, threads, make),
+                    None,
+                )
+            }
+        }
+    }
 }
 
 fn print_report(report: &SimReport) {
@@ -100,24 +186,49 @@ fn main() -> ExitCode {
     let collect = opts.metrics || opts.metrics_out.is_some();
     let pipeline = MetricRegistry::new();
 
-    // Streaming keeps the population config and never materializes the
-    // trace; the classic path loads/generates it up front.
-    let (trace, pop) = if opts.stream {
-        let pop = match build_population(&opts) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
+    // Streaming never materializes the trace — it keeps a population
+    // config (synthetic) or the file's dimensions (recorded); the
+    // classic path loads/generates the whole trace up front.
+    let source = if opts.stream {
+        if let Some(path) = &opts.trace {
+            let dims = File::open(path)
+                .map_err(|e| format!("cannot open {path}: {e}"))
+                .and_then(|f| csv::trace_dims(f).map_err(|e| e.to_string()));
+            let (users, horizon_ms) = match dims {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "trace: {} users, {} shards (streaming from {path}, {} threads)\n",
+                users,
+                default_shards(users),
+                opts.threads
+            );
+            Source::File {
+                path: path.clone(),
+                users,
+                horizon_ms,
             }
-        };
-        println!(
-            "trace: {} users, {} days, {} shards (streaming, {} threads)\n",
-            pop.num_users,
-            pop.days,
-            default_shards(pop.num_users),
-            opts.threads
-        );
-        (None, Some(pop))
+        } else {
+            let pop = match build_population(&opts) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "trace: {} users, {} days, {} shards (streaming, {} threads)\n",
+                pop.num_users,
+                pop.days,
+                default_shards(pop.num_users),
+                opts.threads
+            );
+            Source::Synthetic(Box::new(pop))
+        }
     } else {
         let gen_start = collect.then(Instant::now);
         let trace = match load_trace(&opts) {
@@ -137,7 +248,7 @@ fn main() -> ExitCode {
             trace.days(),
             opts.threads
         );
-        (Some(trace), None)
+        Source::Trace(trace)
     };
 
     let modes: &[(DeliveryMode, &str)] = match opts.mode.as_str() {
@@ -158,41 +269,18 @@ fn main() -> ExitCode {
     let mut reports = Vec::new();
     for &(mode, label) in modes {
         let report = match build_config(&opts, mode) {
-            Ok(cfg) if collect => {
-                let (r, reg) = match &pop {
-                    Some(p) => {
-                        let n = default_shards(p.num_users);
-                        Simulator::run_streaming_observed(&cfg, p.num_users, n, opts.threads, |i| {
-                            p.generate_shard(i, n)
-                        })
+            Ok(cfg) => {
+                let (r, reg) = run_source(&cfg, &source, opts.threads, collect);
+                if let Some(reg) = reg {
+                    if opts.metrics {
+                        println!("metrics ({label}):\n{}", render_table(&reg));
                     }
-                    None => Simulator::run_parallel_observed(
-                        &cfg,
-                        trace.as_ref().expect("non-stream path has a trace"),
-                        opts.threads,
-                    ),
-                };
-                if opts.metrics {
-                    println!("metrics ({label}):\n{}", render_table(&reg));
-                }
-                if opts.metrics_out.is_some() {
-                    exports.push_str(&to_json_lines(&reg, label));
+                    if opts.metrics_out.is_some() {
+                        exports.push_str(&to_json_lines(&reg, label));
+                    }
                 }
                 r
             }
-            Ok(cfg) => match &pop {
-                Some(p) => {
-                    let n = default_shards(p.num_users);
-                    Simulator::run_streaming(&cfg, p.num_users, n, opts.threads, |i| {
-                        p.generate_shard(i, n)
-                    })
-                }
-                None => Simulator::run_parallel(
-                    &cfg,
-                    trace.as_ref().expect("non-stream path has a trace"),
-                    opts.threads,
-                ),
-            },
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;

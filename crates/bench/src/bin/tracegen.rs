@@ -7,7 +7,16 @@
 //! tracegen --users 500 --days 14 --seed 7 --out trace.csv
 //! tracegen --preset iphone --threads 4   # parallel generation, same bytes
 //! tracegen --preset wp            # writes to stdout
+//! tracegen --preset small --seed 777 --events | serve --seed 5   # serve wire stream
 //! ```
+//!
+//! `--events` switches the output from the CSV trace format to the
+//! newline-delimited serve protocol (`adpf_serve::protocol`): the
+//! trace's ad-slot stream, globally time-sorted, ready to pipe into the
+//! `serve` binary or any other ingest endpoint. `--refresh-ms` sets the
+//! slot refresh cadence and defaults to the simulator's 30 s
+//! `ad_refresh`, so the default stream replays exactly the slots the
+//! batch simulator would decide.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -18,8 +27,9 @@ use adpf_traces::{csv, PopulationConfig, TraceStats};
 fn usage() {
     eprintln!(
         "usage: tracegen [--preset iphone|wp|small] [--users N] [--days N] [--seed N]\n\
-         \x20               [--threads N] [--out FILE]\n\
-         Generates a synthetic app-usage trace in the adprefetch CSV format.\n\
+         \x20               [--threads N] [--out FILE] [--events] [--refresh-ms N]\n\
+         Generates a synthetic app-usage trace in the adprefetch CSV format,\n\
+         or (with --events) the serve wire protocol for the `serve` binary.\n\
          --threads parallelizes generation; the output is identical at any count."
     );
 }
@@ -32,6 +42,8 @@ struct Opts {
     seed: u64,
     threads: usize,
     out: Option<String>,
+    events: bool,
+    refresh_ms: u64,
 }
 
 fn parse(args: &[String]) -> Option<Opts> {
@@ -42,12 +54,19 @@ fn parse(args: &[String]) -> Option<Opts> {
         seed: 42,
         threads: 1,
         out: None,
+        events: false,
+        refresh_ms: 30_000,
     };
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         if flag == "--help" || flag == "-h" {
             return None;
+        }
+        if flag == "--events" {
+            opts.events = true;
+            i += 1;
+            continue;
         }
         let value = args.get(i + 1)?;
         match flag {
@@ -57,6 +76,9 @@ fn parse(args: &[String]) -> Option<Opts> {
             "--seed" => opts.seed = value.parse().ok()?,
             "--threads" => {
                 opts.threads = value.parse().ok().filter(|&n| n >= 1)?;
+            }
+            "--refresh-ms" => {
+                opts.refresh_ms = value.parse().ok().filter(|&n| n >= 1)?;
             }
             "--out" => opts.out = Some(value.clone()),
             other => {
@@ -99,24 +121,28 @@ fn main() -> ExitCode {
     }
 
     let trace = cfg.generate_parallel(opts.threads);
-    let stats = TraceStats::compute(&trace, adpf_desim::SimDuration::from_secs(30));
+    let refresh = adpf_desim::SimDuration::from_millis(opts.refresh_ms);
+    let stats = TraceStats::compute(&trace, refresh);
     eprintln!(
         "generated {} users x {} days: {} sessions, {} ad slots ({:.1} slots/user/day)",
         stats.users, stats.days, stats.sessions, stats.slots, stats.slots_per_user_day.mean
     );
 
+    // Either format streams through a writer; the serve protocol emits
+    // the slot stream a server would ingest, CSV emits the sessions.
+    let emit = |mut w: &mut dyn Write| -> io::Result<()> {
+        if opts.events {
+            adpf_serve::write_events(&trace, refresh, &mut w)?;
+        } else {
+            csv::write_trace(&trace, &mut w).map_err(io::Error::other)?;
+        }
+        w.flush()
+    };
     let result = match opts.out {
-        Some(path) => File::create(&path)
-            .map_err(adpf_traces::csv::CsvError::from)
-            .and_then(|file| {
-                let mut w = BufWriter::new(file);
-                csv::write_trace(&trace, &mut w)?;
-                w.flush().map_err(Into::into)
-            }),
+        Some(path) => File::create(&path).and_then(|file| emit(&mut BufWriter::new(file))),
         None => {
             let stdout = io::stdout();
-            let mut w = BufWriter::new(stdout.lock());
-            csv::write_trace(&trace, &mut w).and_then(|()| w.flush().map_err(Into::into))
+            emit(&mut BufWriter::new(stdout.lock()))
         }
     };
     match result {

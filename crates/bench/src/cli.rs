@@ -47,9 +47,9 @@ pub struct SimulateOpts {
     /// Requires `--marketplace` other than `off`.
     pub floor: Option<f64>,
     /// Run the bounded-memory streaming pipeline: each shard generates
-    /// and consumes its own user range, so the full trace never exists
-    /// in memory. Synthetic presets only (a CSV trace is already
-    /// materialized). Reports are byte-identical to the default path.
+    /// (synthetic presets) or re-reads from the CSV file (recorded
+    /// traces) only its own user range, so the full trace never exists
+    /// in memory. Reports are byte-identical to the default path.
     pub stream: bool,
     /// Population-size override for synthetic presets (`None` keeps the
     /// preset's). This is how million-user runs are requested.
@@ -195,20 +195,15 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             return Err(invalid(format!("--floor {f} must be finite and >= 0")));
         }
     }
-    // Streaming and population overrides regenerate from a synthetic
-    // preset; a CSV trace is already materialized, so combining them
-    // would silently ignore one side. Reject instead.
-    if o.trace.is_some() {
-        if o.stream {
-            return Err(invalid(
-                "--stream requires a synthetic --preset, not --trace",
-            ));
-        }
-        if o.users.is_some() || o.days.is_some() {
-            return Err(invalid(
-                "--users/--days override a synthetic --preset, not --trace",
-            ));
-        }
+    // Population overrides regenerate from a synthetic preset; a CSV
+    // trace already fixes its own shape, so combining them would
+    // silently ignore one side. Reject instead. (`--stream` combines
+    // with both: synthetic presets regenerate per shard, recorded
+    // traces re-read the file per shard through `read_trace_shard`.)
+    if o.trace.is_some() && (o.users.is_some() || o.days.is_some()) {
+        return Err(invalid(
+            "--users/--days override a synthetic --preset, not --trace",
+        ));
     }
     if o.days == Some(0) {
         return Err(invalid("--days must be at least 1"));
@@ -239,64 +234,34 @@ pub fn build_population(o: &SimulateOpts) -> Result<PopulationConfig, String> {
     Ok(pop)
 }
 
-/// Resolves a netem preset name.
+/// Resolves a netem preset name (delegates to
+/// [`NetemConfig::parse_preset`], the canonical parser).
 pub fn parse_netem(name: &str) -> Result<NetemConfig, String> {
-    Ok(match name {
-        "off" => NetemConfig::disabled(),
-        "flaky" => NetemConfig::flaky_cellular(),
-        "degraded" => NetemConfig::degraded(),
-        // A correlated-failure scenario: flaky conditions plus a 6-hour
-        // blackout of half the population starting on day 2.
-        "blackout" => {
-            NetemConfig::flaky_cellular().with_outage(48, SimDuration::from_hours(6), 0.5)
-        }
-        other => return Err(format!("unknown netem preset `{other}`")),
-    })
+    NetemConfig::parse_preset(name)
 }
 
-/// Resolves a marketplace regime name.
+/// Resolves a marketplace regime name (delegates to
+/// [`MarketplaceConfig::parse_regime`], the canonical parser).
 pub fn parse_marketplace(name: &str) -> Result<MarketplaceConfig, String> {
-    Ok(match name {
-        "off" => MarketplaceConfig::disabled(),
-        "static" => MarketplaceConfig::static_exchange(),
-        "paced" => MarketplaceConfig::paced(),
-        other => return Err(format!("unknown marketplace regime `{other}`")),
-    })
+    MarketplaceConfig::parse_regime(name)
 }
 
-/// Resolves a pricing-rule name.
+/// Resolves a pricing-rule name (delegates to [`PricingRule::parse`],
+/// the canonical parser).
 pub fn parse_pricing(name: &str) -> Result<PricingRule, String> {
-    Ok(match name {
-        "first" => PricingRule::FirstPrice,
-        "second" => PricingRule::SecondPrice,
-        other => return Err(format!("unknown pricing rule `{other}`")),
-    })
+    PricingRule::parse(name)
 }
 
-/// Resolves a predictor name.
+/// Resolves a predictor name (delegates to [`PredictorKind::parse`],
+/// the canonical parser).
 pub fn parse_predictor(name: &str) -> Result<PredictorKind, String> {
-    Ok(match name {
-        "session" => PredictorKind::SessionAware,
-        "day-hour" => PredictorKind::DayHour,
-        "tod" => PredictorKind::TimeOfDay,
-        "markov" => PredictorKind::Markov,
-        "mean" => PredictorKind::GlobalRate,
-        "oracle" => PredictorKind::Oracle,
-        "zero" => PredictorKind::Zero,
-        other => return Err(format!("unknown predictor `{other}`")),
-    })
+    PredictorKind::parse(name)
 }
 
-/// Resolves a planner name (`greedy`, `none`, or `fixed-K`).
+/// Resolves a planner name (delegates to [`PlannerKind::parse`], the
+/// canonical parser).
 pub fn parse_planner(name: &str) -> Result<PlannerKind, String> {
-    match name {
-        "greedy" => Ok(PlannerKind::Greedy),
-        "none" => Ok(PlannerKind::NoReplication),
-        other => match other.strip_prefix("fixed-").and_then(|k| k.parse().ok()) {
-            Some(k) => Ok(PlannerKind::FixedK(k)),
-            None => Err(format!("unknown planner `{other}`")),
-        },
-    }
+    PlannerKind::parse(name)
 }
 
 /// Builds the validated [`SystemConfig`] for one delivery mode from
@@ -311,12 +276,7 @@ pub fn build_config(o: &SimulateOpts, mode: DeliveryMode) -> Result<SystemConfig
     cfg.sla_target = o.sla;
     cfg.predictor = parse_predictor(&o.predictor)?;
     cfg.planner = parse_planner(&o.planner)?;
-    cfg.radio = match o.radio.as_str() {
-        "3g" => profiles::umts_3g(),
-        "lte" => profiles::lte(),
-        "wifi" => profiles::wifi(),
-        other => return Err(format!("unknown radio `{other}`")),
-    };
+    cfg.radio = profiles::by_name(&o.radio)?;
     cfg.netem = parse_netem(&o.netem)?;
     if let Some(n) = o.netem_retries {
         if !cfg.netem.enabled {
@@ -516,7 +476,10 @@ mod tests {
 
     #[test]
     fn stream_and_overrides_reject_csv_traces_and_zero_days() {
-        assert!(parse_simulate_args(&argv("--trace t.csv --stream")).is_err());
+        // Streaming a recorded trace is supported (per-shard file
+        // re-reads); only the population overrides conflict with one.
+        let o = parse_simulate_args(&argv("--trace t.csv --stream")).unwrap();
+        assert!(o.stream && o.trace.is_some());
         assert!(parse_simulate_args(&argv("--trace t.csv --users 10")).is_err());
         assert!(parse_simulate_args(&argv("--trace t.csv --days 2")).is_err());
         assert!(parse_simulate_args(&argv("--days 0")).is_err());

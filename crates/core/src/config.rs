@@ -35,6 +35,19 @@ pub enum PlannerKind {
 }
 
 impl PlannerKind {
+    /// Resolves a CLI planner name (`greedy`, `none`, or `fixed-K`). The
+    /// canonical name set shared by the `simulate` and `serve` binaries.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "greedy" => Ok(PlannerKind::Greedy),
+            "none" => Ok(PlannerKind::NoReplication),
+            other => match other.strip_prefix("fixed-").and_then(|k| k.parse().ok()) {
+                Some(k) => Ok(PlannerKind::FixedK(k)),
+                None => Err(format!("unknown planner `{other}`")),
+            },
+        }
+    }
+
     /// Builds the planner.
     pub fn build(&self) -> Box<dyn ReplicationPlanner> {
         match *self {

@@ -1,0 +1,1123 @@
+//! The per-client decision engine, extracted from the batch simulator.
+//!
+//! [`ClientEngine`] owns everything the ad server decides *per client*:
+//! the columnar client state ([`ClientTable`]/`AdCache`), prediction,
+//! overbooked replication, marketplace hooks, netem gating, and the
+//! energy accounting — everything the old monolithic simulator owned
+//! except the ad-slot stream itself. Slots are the engine's only
+//! *external* events; syncs, retries, expiry sweeps, and pacing ticks
+//! are *internal* events the engine schedules for itself on its own
+//! [`EventQueue`].
+//!
+//! That split is what lets two very different drivers share one engine
+//! bit for bit:
+//!
+//! - the batch [`Simulator`](crate::Simulator) iterates a precomputed,
+//!   time-sorted slot vector ([`SlotFeed`]), and
+//! - the online `adpf-serve` server feeds slots as they arrive over a
+//!   socket or stdin, with no end-of-stream known in advance.
+//!
+//! Both follow the same driving rule, and it reproduces the historical
+//! single-queue event order **exactly**:
+//!
+//! 1. before an external slot at time `t`, drain internal events
+//!    scheduled strictly *before* `t` ([`drain_internal_before`]);
+//! 2. handle the slot ([`on_slot`]);
+//! 3. at end of stream, drain all remaining internal events
+//!    ([`drain_internal`]) and [`finalize`].
+//!
+//! Why this is exact: the old simulator seeded *all* slots into the
+//! queue first (sequence numbers `0..S`), so at equal timestamps a slot
+//! always popped before any internal event — seeded or rescheduled —
+//! and equal-time slots popped in slot-stream index order. Slot
+//! handlers never schedule internal events, and internal handlers only
+//! schedule strictly-future internal events, so "internal strictly
+//! before `t`, then the slot at `t`" is precisely the old pop order.
+//! The committed smoke golden and `tests/serving.rs` pin this.
+//!
+//! [`drain_internal_before`]: ClientEngine::drain_internal_before
+//! [`on_slot`]: ClientEngine::on_slot
+//! [`drain_internal`]: ClientEngine::drain_internal
+//! [`finalize`]: ClientEngine::finalize
+
+use adpf_auction::{AdId, CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer};
+use adpf_desim::feed::EventFeed;
+use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime};
+use adpf_energy::{EnergyBreakdown, Radio};
+use adpf_netem::NetworkModel;
+use adpf_obs::{MetricId, MetricRegistry, ObsSink};
+use adpf_overbooking::availability::{AvailabilityCache, ClientAvailability};
+use adpf_overbooking::planner::{ReplicationPlanner, PLAN_INLINE};
+use adpf_traces::{AdSlot, AppId, UserId, UserSlots};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{CachedAd, ClientTable};
+use crate::config::{DeliveryMode, SystemConfig};
+use crate::report::{metric_names, NetemCounters, SimReport};
+use crate::sim::ShardContext;
+
+/// Upper bound on ads sold at one sync, guarding against a pathological
+/// predictor output flooding the exchange.
+const MAX_SELL_PER_SYNC: u32 = 256;
+
+/// Finalizes `z` through the 64-bit mix used by splitmix64/murmur3.
+///
+/// Used to spread the shard's `rng_stream` index across the seed space.
+/// Every operation maps zero to zero, so stream 0 leaves the master seed
+/// untouched — the unsharded derivation stays bit-identical.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^= z >> 33;
+    z
+}
+
+/// Pre-resolved ids for the counters the engine maintains on its hot
+/// path. Resolving once at construction keeps every increment an array
+/// index plus an integer add. All of these count simulated events, so
+/// they are deterministic and safe to keep always on — which is what
+/// lets `SimReport::netem` be *derived* from the registry while
+/// `--metrics` toggles only export and wall-clock spans.
+struct SimIds {
+    ev_slot: MetricId,
+    ev_sync: MetricId,
+    ev_retry: MetricId,
+    ev_sweep: MetricId,
+    ev_pacing: MetricId,
+    pool_builds: MetricId,
+    pool_scored: MetricId,
+    pool_rescored: MetricId,
+    netem_sync_failures: MetricId,
+    netem_retries_scheduled: MetricId,
+    netem_retries_succeeded: MetricId,
+    netem_syncs_abandoned: MetricId,
+    netem_realtime_failures: MetricId,
+    netem_ads_rescued: MetricId,
+    netem_rescues_unplaced: MetricId,
+}
+
+impl SimIds {
+    fn resolve(reg: &MetricRegistry) -> Self {
+        SimIds {
+            ev_slot: reg.counter("sim.event.slot"),
+            ev_sync: reg.counter("sim.event.sync"),
+            ev_retry: reg.counter("sim.event.retry"),
+            ev_sweep: reg.counter("sim.event.expiry_sweep"),
+            ev_pacing: reg.counter("sim.event.pacing"),
+            pool_builds: reg.counter("sim.pool.builds"),
+            pool_scored: reg.counter("sim.pool.candidates_scored"),
+            pool_rescored: reg.counter("sim.pool.candidates_rescored"),
+            netem_sync_failures: reg.counter(metric_names::NETEM_SYNC_FAILURES),
+            netem_retries_scheduled: reg.counter(metric_names::NETEM_RETRIES_SCHEDULED),
+            netem_retries_succeeded: reg.counter(metric_names::NETEM_RETRIES_SUCCEEDED),
+            netem_syncs_abandoned: reg.counter(metric_names::NETEM_SYNCS_ABANDONED),
+            netem_realtime_failures: reg.counter(metric_names::NETEM_REALTIME_FAILURES),
+            netem_ads_rescued: reg.counter(metric_names::NETEM_ADS_RESCUED),
+            netem_rescues_unplaced: reg.counter(metric_names::NETEM_RESCUES_UNPLACED),
+        }
+    }
+}
+
+/// The engine's internal event alphabet.
+///
+/// Ad slots are deliberately absent: they are *external* inputs, pushed
+/// by whatever drives the engine ([`ClientEngine::on_slot`]). Every
+/// variant here is scheduled by the engine itself, strictly into the
+/// future — the invariant the driving rule relies on.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineEvent {
+    /// Client `c` performs its periodic sync.
+    Sync(u32),
+    /// Client `c` retries a failed sync; `attempt` counts round trips
+    /// already burnt (netem only).
+    Retry {
+        /// Client index.
+        c: u32,
+        /// Round trips already burnt on this sync.
+        attempt: u32,
+    },
+    /// Periodic server-side expiry sweep.
+    ExpirySweep,
+    /// Periodic pacing-controller update across all paced campaigns
+    /// (reactive marketplace only).
+    Pacing,
+}
+
+/// A feed over a precomputed, time-sorted ad-slot stream: the batch
+/// simulator's view of its trace, expressed as the same [`EventFeed`]
+/// the online server implements over its ingest channel.
+pub struct SlotFeed<'a> {
+    slots: &'a [AdSlot],
+    next: usize,
+}
+
+impl<'a> SlotFeed<'a> {
+    /// Wraps a slot slice; the slice must be sorted by `(time, user)`
+    /// (what [`Trace::ad_slots`](adpf_traces::Trace::ad_slots) returns).
+    pub fn new(slots: &'a [AdSlot]) -> Self {
+        Self { slots, next: 0 }
+    }
+}
+
+impl EventFeed for SlotFeed<'_> {
+    type Event = (UserId, AppId);
+
+    fn next(&mut self) -> Option<(SimTime, Self::Event)> {
+        let s = self.slots.get(self.next)?;
+        self.next += 1;
+        Some((s.time, (s.user, s.app)))
+    }
+}
+
+/// One client shard's decision core: per-client state machines,
+/// prediction, overbooked replication, and marketplace hooks, driven by
+/// external ad-slot events plus a self-scheduled internal event queue.
+///
+/// Construction precomputes per-client state; driving it (via
+/// [`ClientEngine::drive`] or the `on_slot`/`drain_*` primitives) and
+/// then [`ClientEngine::finalize`] produces a [`SimReport`]. Runs are
+/// deterministic: the same `(config, slot stream)` pair always yields
+/// the same report.
+pub struct ClientEngine {
+    config: SystemConfig,
+    clients: ClientTable,
+    horizon: SimTime,
+    days: u32,
+    exchange: Exchange,
+    ledger: Ledger,
+    tracker: adpf_overbooking::reconcile::ReplicaTracker,
+    planner: Box<dyn ReplicationPlanner>,
+    /// Internal (self-scheduled) events only; external slots never enter.
+    queue: EventQueue<EngineEvent>,
+    /// Cached time of the earliest internal event, so the per-slot
+    /// "anything due before `t`?" check is a compare, not a queue scan.
+    next_internal: Option<SimTime>,
+    cand_cursor: usize,
+    /// Randomness for failure injection (sync dropout).
+    fault_rng: StdRng,
+    syncs_dropped: u64,
+    /// Per-client network channels; `None` when netem is disabled, in
+    /// which case every link query short-circuits to "ideal" without
+    /// consuming randomness — the legacy code path, bit for bit.
+    net: Option<NetworkModel>,
+    /// The run's metric registry. Always on: every value written during
+    /// the run is a count of simulated events, merged shard-order like
+    /// the report itself, so observability can never perturb outcomes.
+    /// `SimReport::netem` is derived from it at finalize.
+    pub(crate) obs: MetricRegistry,
+    /// Pre-resolved ids into `obs` for the hot-path counters.
+    mid: SimIds,
+    /// Scratch for the rescue scan's due-ad list.
+    scratch_due: Vec<(u64, SimTime)>,
+    /// Memoized bursty-availability evaluator (exact, keyed on lambda
+    /// bits) shared by every `place_ad` call.
+    avail: AvailabilityCache,
+    /// Monotone counter bumped at each `sync_body`; versions the
+    /// per-client `expected_rate` memo below.
+    sync_epoch: u64,
+    /// `lambda_cache[j]` is valid iff `lambda_epoch[j] == sync_epoch`.
+    /// Within one sync every candidate's predictor state, `next_sync`,
+    /// and the sale deadline are frozen, so a client's expected rate is
+    /// identical across the ads sold at that sync — computing it once
+    /// per client per sync is exact, not approximate.
+    lambda_epoch: Vec<u64>,
+    lambda_cache: Vec<f64>,
+    // Scratch buffers reused across syncs so the hot path never
+    // allocates: each holds the retained capacity of whatever client
+    // vector it was last swapped with.
+    scratch_slot_times: Vec<SimTime>,
+    scratch_outbox: Vec<CachedAd>,
+    scratch_reports: Vec<(AdId, SimTime)>,
+    scratch_cands: Vec<ClientAvailability>,
+    /// `(lambda, mean_session_slots)` per pool entry, aligned with
+    /// `scratch_cands` — the inputs needed to re-score an entry.
+    scratch_meta: Vec<(f64, f64)>,
+    // Counters.
+    /// External slot events seen; the engine has no slot vector of its
+    /// own, so this is what `SimReport::slots` reports.
+    slots_seen: u64,
+    impressions: u64,
+    cache_hits: u64,
+    realtime_fetches: u64,
+    unfilled: u64,
+    syncs: u64,
+    syncs_skipped: u64,
+    replicas_assigned: u64,
+}
+
+impl ClientEngine {
+    /// Builds an engine for `config` over a population of
+    /// `slots_by_user.num_users()` clients.
+    ///
+    /// `slots_by_user` is consulted only by predictors that need the
+    /// future slot stream at construction (the oracle); every other
+    /// predictor starts cold, so online drivers — which cannot know the
+    /// future — pass an empty view and must reject the oracle.
+    /// `horizon` and `days` are the trace bounds the batch pipeline
+    /// reads off its `Trace` and an online server reads off its stream
+    /// header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails — configurations are built in
+    /// code, so an invalid one is a programming error.
+    pub fn new(
+        config: SystemConfig,
+        slots_by_user: &UserSlots,
+        horizon: SimTime,
+        days: u32,
+        ctx: &ShardContext,
+    ) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid SystemConfig: {reason}");
+        }
+        let num_users = slots_by_user.num_users();
+        let mut clients = ClientTable::with_capacity(num_users);
+        for u in 0..num_users {
+            clients.push(
+                Radio::new(config.radio.clone()),
+                config.predictor.build(slots_by_user.user(u)),
+            );
+        }
+
+        // The campaign catalog is built from the master seed alone (it
+        // lives in the shared context), so every shard of a sharded run
+        // sees the same advertisers; only the per-run randomness (bid
+        // sampling, fault injection) switches to the shard's stream, and
+        // budgets shrink to the shard's population share so combined
+        // spending can never exceed the global budgets.
+        let stream_seed = config.seed ^ mix64(config.rng_stream);
+        let mut exchange = Exchange::new(ctx.campaigns.clone(), config.seed);
+        exchange.advance_discount = config.advance_discount;
+        exchange.reseed_bids(stream_seed);
+        exchange.scale_budgets(config.budget_fraction);
+        if config.marketplace.enabled {
+            // After scale_budgets: pacing schedules must cover the
+            // shard's budget share, not the global budget, so the
+            // shards' combined paced spend targets the global schedule.
+            exchange.configure_marketplace(&config.marketplace, &ctx.campaign_types);
+        }
+
+        // Seeding order mirrors the historical single queue (slots came
+        // first there; here they are external): staggered first syncs in
+        // client order, then the first expiry sweep, then the first
+        // pacing tick. FIFO tie-breaking preserves this relative order
+        // at equal timestamps.
+        let mut queue = EventQueue::with_capacity(clients.len() + 16);
+        if config.mode == DeliveryMode::Prefetch {
+            // Stagger first syncs evenly across the interval so the server
+            // load (and replica delivery opportunities) spread out.
+            let interval_ms = config.prefetch_interval.as_millis();
+            let n = clients.len().max(1) as u64;
+            for i in 0..clients.len() {
+                let offset = SimDuration::from_millis(interval_ms * (i as u64 % n) / n);
+                clients.next_sync[i] = SimTime::ZERO + offset;
+                queue.push(clients.next_sync[i], EngineEvent::Sync(i as u32));
+            }
+            queue.push(SimTime::from_hours(1), EngineEvent::ExpirySweep);
+        }
+        if exchange.has_pacers() {
+            // Pacing applies in both delivery modes: the exchange paces
+            // real-time and advance sales alike. Marketplace-off (and
+            // static-marketplace) runs schedule no pacing events, so the
+            // legacy event stream is untouched.
+            queue.push(
+                SimTime::ZERO + config.marketplace.pacing_interval,
+                EngineEvent::Pacing,
+            );
+        }
+        let next_internal = queue.peek_time();
+
+        let planner = config.planner.build();
+        let fault_rng = StdRng::seed_from_u64(stream_seed ^ 0xd20_0ff);
+        let avail = AvailabilityCache::new(config.availability_dispersion);
+        let n_clients = clients.len();
+        let candidate_pool = config.candidate_pool;
+        let net = config
+            .netem
+            .enabled
+            .then(|| NetworkModel::new(config.netem.clone(), n_clients, stream_seed));
+        let obs = MetricRegistry::new();
+        let mid = SimIds::resolve(&obs);
+        Self {
+            config,
+            avail,
+            sync_epoch: 0,
+            lambda_epoch: vec![0; n_clients],
+            lambda_cache: vec![0.0; n_clients],
+            scratch_slot_times: Vec::new(),
+            scratch_outbox: Vec::new(),
+            scratch_reports: Vec::new(),
+            scratch_cands: Vec::with_capacity(candidate_pool),
+            scratch_meta: Vec::with_capacity(candidate_pool),
+            clients,
+            horizon,
+            days,
+            exchange,
+            ledger: Ledger::new(),
+            tracker: adpf_overbooking::reconcile::ReplicaTracker::new(),
+            planner,
+            queue,
+            next_internal,
+            cand_cursor: 0,
+            fault_rng,
+            syncs_dropped: 0,
+            net,
+            obs,
+            mid,
+            scratch_due: Vec::new(),
+            slots_seen: 0,
+            impressions: 0,
+            cache_hits: 0,
+            realtime_fetches: 0,
+            unfilled: 0,
+            syncs: 0,
+            syncs_skipped: 0,
+            replicas_assigned: 0,
+        }
+    }
+
+    /// Number of clients this engine owns.
+    pub fn num_users(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The trace horizon the engine was built against.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Drives the engine from an external slot feed to exhaustion and
+    /// leaves it ready to [`ClientEngine::finalize`]: the driving rule
+    /// (drain-before, slot, drain-at-end) in one place.
+    pub fn drive<F: EventFeed<Event = (UserId, AppId)>>(&mut self, feed: &mut F) {
+        while let Some((t, (user, app))) = feed.next() {
+            self.drain_internal_before(t);
+            self.on_slot(t, user, app);
+        }
+        self.drain_internal();
+    }
+
+    /// Runs every internal event scheduled strictly before `t`. Call
+    /// immediately before handing the engine an external slot at `t`.
+    pub fn drain_internal_before(&mut self, t: SimTime) {
+        while self.next_internal.is_some_and(|nt| nt < t) {
+            let (now, ev) = self.queue.pop().expect("next_internal was Some");
+            self.dispatch(now, ev);
+            self.next_internal = self.queue.peek_time();
+        }
+    }
+
+    /// Runs all remaining internal events (end of the external stream).
+    pub fn drain_internal(&mut self) {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.dispatch(now, ev);
+        }
+        self.next_internal = None;
+    }
+
+    /// Schedules an internal event, keeping the cached earliest time.
+    fn schedule(&mut self, at: SimTime, ev: EngineEvent) {
+        if self.next_internal.is_none_or(|nt| at < nt) {
+            self.next_internal = Some(at);
+        }
+        self.queue.push(at, ev);
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: EngineEvent) {
+        match event {
+            EngineEvent::Sync(c) => {
+                self.obs.inc(self.mid.ev_sync, 1);
+                self.on_sync(now, c)
+            }
+            EngineEvent::Retry { c, attempt } => {
+                self.obs.inc(self.mid.ev_retry, 1);
+                self.on_retry(now, c, attempt)
+            }
+            EngineEvent::ExpirySweep => {
+                self.obs.inc(self.mid.ev_sweep, 1);
+                self.on_expiry_sweep(now)
+            }
+            EngineEvent::Pacing => {
+                self.obs.inc(self.mid.ev_pacing, 1);
+                self.on_pacing(now)
+            }
+        }
+    }
+
+    /// Handles one external ad-slot event: client `user` renders a slot
+    /// of app `app` at `now`. The caller must present slots in
+    /// non-decreasing time order and call
+    /// [`ClientEngine::drain_internal_before`]`(now)` first.
+    pub fn on_slot(&mut self, now: SimTime, user: UserId, app: AppId) {
+        self.obs.inc(self.mid.ev_slot, 1);
+        self.slots_seen += 1;
+        let ci = user.0 as usize;
+        let category = Self::app_category(app);
+        match self.config.mode {
+            DeliveryMode::RealTime => {
+                self.gated_realtime_fetch(ci, now, category);
+            }
+            DeliveryMode::Prefetch => {
+                self.clients.slot_times[ci].push(now);
+                if let Some(ad) =
+                    self.clients.cache[ci].take_displayable(now, self.config.replica_window)
+                {
+                    self.clients.pending_reports[ci].push((ad.id, now));
+                    self.impressions += 1;
+                    self.cache_hits += 1;
+                } else if self.config.realtime_fallback {
+                    if self.config.piggyback_on_fallback {
+                        // The radio must wake for this fetch anyway; ride
+                        // the same wakeup with a full sync — if the link
+                        // lets the round trip through at all.
+                        match self.net.as_mut().map(|net| net.attempt(ci, now)) {
+                            Some(v) if !v.ok => {
+                                // The slot is gone; there is no later
+                                // moment to retry a display into. The
+                                // radio still pays for the timeout.
+                                self.obs.inc(self.mid.netem_realtime_failures, 1);
+                                self.unfilled += 1;
+                                self.clients.radio[ci].stall(now, v.latency);
+                            }
+                            verdict => {
+                                let latency =
+                                    verdict.map(|v| v.latency).unwrap_or(SimDuration::ZERO);
+                                self.sync_body(ci, now, Some(category), latency);
+                            }
+                        }
+                    } else {
+                        self.gated_realtime_fetch(ci, now, category);
+                    }
+                } else {
+                    self.unfilled += 1;
+                }
+            }
+        }
+    }
+
+    /// Maps an app to its marketplace category for contextual targeting.
+    fn app_category(app: AppId) -> u8 {
+        (app.0 % CampaignCatalog::NUM_CATEGORIES as u16) as u8
+    }
+
+    /// [`ClientEngine::realtime_fetch`] gated by the network channel: on
+    /// a dead link the slot goes unfilled (a display moment cannot be
+    /// retried) and the radio pays a wasted timeout; on a degraded link
+    /// the fetch succeeds but holds the radio for the extra latency.
+    /// With netem disabled this is exactly `realtime_fetch`.
+    fn gated_realtime_fetch(&mut self, ci: usize, now: SimTime, category: u8) {
+        if let Some(net) = self.net.as_mut() {
+            let v = net.attempt(ci, now);
+            if !v.ok {
+                self.obs.inc(self.mid.netem_realtime_failures, 1);
+                self.unfilled += 1;
+                self.clients.radio[ci].stall(now, v.latency);
+                return;
+            }
+            if !v.latency.is_zero() {
+                self.clients.radio[ci].stall(now, v.latency);
+            }
+        }
+        self.realtime_fetch(ci, now, category);
+    }
+
+    /// Status-quo path: wake the radio, auction the slot in real time, and
+    /// bill immediately.
+    fn realtime_fetch(&mut self, ci: usize, now: SimTime, category: u8) {
+        self.clients.radio[ci].transfer(now, self.config.ad_bytes_down, self.config.ad_bytes_up);
+        self.realtime_fetches += 1;
+        let offer = SlotOffer::realtime(now, Some(category));
+        if let Some(sold) = self.exchange.run_auction(&offer) {
+            self.ledger.record_sale(&sold);
+            let outcome = self.ledger.record_impression(sold.id, now);
+            debug_assert_eq!(outcome, ImpressionOutcome::Billed);
+            self.impressions += 1;
+        } else {
+            self.unfilled += 1;
+        }
+    }
+
+    fn on_sync(&mut self, now: SimTime, c: u32) {
+        let ci = c as usize;
+        // Failure injection: the device may be unreachable for this
+        // periodic sync; everything pending simply waits for the next
+        // opportunity.
+        let dropped = self.config.sync_dropout > 0.0
+            && self.fault_rng.gen::<f64>() < self.config.sync_dropout;
+        if dropped {
+            self.syncs_dropped += 1;
+        } else {
+            self.attempt_sync(ci, now, 0);
+        }
+
+        // Schedule the next periodic sync; one extra period past the
+        // horizon flushes final reports.
+        let next = now + self.config.prefetch_interval;
+        if next <= self.horizon + self.config.prefetch_interval {
+            self.clients.next_sync[ci] = next;
+            self.schedule(next, EngineEvent::Sync(c));
+        }
+    }
+
+    /// Runs a sync through the network channel: a failed round trip costs
+    /// a wasted radio wakeup and schedules a backoff retry; a successful
+    /// one proceeds to [`ClientEngine::sync_body`] carrying the link's
+    /// extra latency. `attempt` is the number of round trips already
+    /// burnt on this sync (0 for the periodic attempt). With netem
+    /// disabled this is exactly `sync_body` on an ideal link.
+    fn attempt_sync(&mut self, ci: usize, now: SimTime, attempt: u32) {
+        let Some(net) = self.net.as_mut() else {
+            self.sync_body(ci, now, None, SimDuration::ZERO);
+            return;
+        };
+        let v = net.attempt(ci, now);
+        if v.ok {
+            if attempt > 0 {
+                self.obs.inc(self.mid.netem_retries_succeeded, 1);
+            }
+            self.sync_body(ci, now, None, v.latency);
+            return;
+        }
+        // The handshake went out and nothing came back: the radio woke,
+        // spent the uplink overhead plus the timeout, and got nothing —
+        // the wasted-wakeup energy the tail model makes expensive.
+        self.obs.inc(self.mid.netem_sync_failures, 1);
+        self.clients.radio[ci].transfer(now, 0, self.config.sync_overhead_bytes);
+        self.clients.radio[ci].stall(now, v.latency);
+        self.schedule_retry(ci, now, attempt);
+    }
+
+    /// Schedules the next backoff retry after a failed sync attempt, or
+    /// gives up once the policy's retry budget is spent.
+    fn schedule_retry(&mut self, ci: usize, now: SimTime, attempt: u32) {
+        let Some(net) = self.net.as_mut() else { return };
+        if attempt >= net.retry().max_retries {
+            self.obs.inc(self.mid.netem_syncs_abandoned, 1);
+            return;
+        }
+        let at = now + net.backoff(ci, attempt);
+        // Same scheduling bound as periodic syncs: one interval past the
+        // horizon still flushes reports, anything later is pointless.
+        if at <= self.horizon + self.config.prefetch_interval {
+            self.obs.inc(self.mid.netem_retries_scheduled, 1);
+            self.clients.retry_pending[ci] = true;
+            self.schedule(
+                at,
+                EngineEvent::Retry {
+                    c: ci as u32,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    fn on_retry(&mut self, now: SimTime, c: u32, attempt: u32) {
+        let ci = c as usize;
+        // A sync completed since this retry was scheduled (periodic or
+        // piggybacked); the client has nothing left to retry.
+        if !self.clients.retry_pending[ci] {
+            return;
+        }
+        self.clients.retry_pending[ci] = false;
+        self.attempt_sync(ci, now, attempt);
+    }
+
+    /// One client/server sync: report, observe, cancel, deliver, sell,
+    /// transfer. With `rt_fetch = Some(category)` the sync also serves the
+    /// current slot via a real-time auction, sharing the radio wakeup
+    /// (piggybacking). `link_latency` is the channel's extra round-trip
+    /// stall, charged only if the sync actually wakes the radio.
+    fn sync_body(
+        &mut self,
+        ci: usize,
+        now: SimTime,
+        rt_fetch: Option<u8>,
+        link_latency: SimDuration,
+    ) {
+        let c = ci as u32;
+        // This sync got through, so any outstanding retry is obsolete.
+        self.clients.retry_pending[ci] = false;
+        // New epoch: every per-client expected-rate memo entry from the
+        // previous sync is now stale.
+        self.sync_epoch += 1;
+
+        // 1. Update the server-side demand model with the observed period.
+        //    Swapping with the scratch buffer (instead of `mem::take`)
+        //    hands the client back a vector with retained capacity, so
+        //    next interval's slot pushes don't regrow from zero.
+        std::mem::swap(
+            &mut self.scratch_slot_times,
+            &mut self.clients.slot_times[ci],
+        );
+        let last = self.clients.last_sync[ci];
+        self.clients.predictor[ci].observe(last, now, &self.scratch_slot_times);
+        self.scratch_slot_times.clear();
+        self.clients.cache[ci].purge_expired(now);
+
+        // 2. Sell the predicted slots of the next interval and place them.
+        //    The sell margin scales how aggressively predictions convert
+        //    into inventory; overbooking and cancellation contain the
+        //    downside of overselling.
+        let predicted = self.clients.predictor[ci].predict(now, self.config.prefetch_interval);
+        let have = self.clients.cache[ci].primary_count() as i64;
+        let want = (predicted * self.config.sell_margin).round() as i64;
+        let to_sell = (((want - have).max(0)) as u32).min(MAX_SELL_PER_SYNC);
+        let mut delivered_primaries = 0u64;
+        // All ads sold at this sync share one deadline (`now`, config,
+        // and horizon are fixed for the duration), and therefore one
+        // replica-candidate pool. The pool is evaluated once, lazily, at
+        // the first sale that needs replicas; later sales reuse it, with
+        // only the entries whose queue depth changed re-scored through
+        // the availability cache (which extends the memoized Poisson
+        // series instead of recomputing it).
+        let deadline = (now + self.config.deadline).min(self.horizon);
+        let mut pool_built = false;
+        for _ in 0..to_sell {
+            // Don't sell display windows that extend beyond the trace.
+            if deadline <= now {
+                break;
+            }
+            let offer = SlotOffer::advance(now, deadline);
+            let Some(sold) = self.exchange.run_auction(&offer) else {
+                break; // Exchange demand exhausted.
+            };
+            self.ledger.record_sale(&sold);
+            let holders = self.place_ad(ci, now, deadline, &mut pool_built);
+            self.replicas_assigned += holders.len() as u64 - 1;
+            self.tracker.register(sold.id.0, &holders, deadline);
+            // The first holder in placement order is the primary copy; the
+            // rest are insurance replicas that display only after the
+            // holder's own primaries.
+            for (rank, &h) in holders.iter().enumerate() {
+                self.clients.queued[h as usize] += 1;
+                let cached = CachedAd {
+                    id: sold.id,
+                    deadline,
+                    replica: rank > 0,
+                };
+                if h as usize == ci {
+                    self.clients.cache[ci].insert(cached);
+                    delivered_primaries += 1;
+                } else {
+                    self.clients.outbox[h as usize].push(cached);
+                }
+            }
+            // Re-score the pool entries of the replica holders just
+            // loaded: their queue depth grew, so their availability for
+            // the *next* ad of this sync shrank.
+            self.refresh_pool_probs(&holders);
+        }
+
+        // 3. Serve the current slot in real time if this sync rides a
+        //    fallback fetch.
+        let mut rt_bytes = (0u64, 0u64);
+        if let Some(category) = rt_fetch {
+            self.realtime_fetches += 1;
+            rt_bytes = (self.config.ad_bytes_down, self.config.ad_bytes_up);
+            let offer = SlotOffer::realtime(now, Some(category));
+            if let Some(sold) = self.exchange.run_auction(&offer) {
+                self.ledger.record_sale(&sold);
+                self.ledger.record_impression(sold.id, now);
+                self.impressions += 1;
+            } else {
+                self.unfilled += 1;
+            }
+        }
+
+        // 4. Decide whether this sync transfers at all. Only things that
+        //    must move now justify a radio wakeup: the fallback fetch and
+        //    newly sold primaries. Replicas, cancellations, and impression
+        //    reports are ride-along payload — except that reports force a
+        //    transfer once the oldest has aged a full interval (they are
+        //    billed by display timestamp, so bounded delay is safe within
+        //    the expiry grace period).
+        let reports_urgent = self.clients.pending_reports[ci]
+            .first()
+            .map(|&(_, t)| now.saturating_since(t) >= self.config.prefetch_interval)
+            .unwrap_or(false);
+        let reports_pending = !self.clients.pending_reports[ci].is_empty();
+        let transfer = rt_fetch.is_some()
+            || delivered_primaries > 0
+            || (reports_pending && (reports_urgent || !self.config.defer_report_syncs))
+            || !self.config.skip_empty_syncs;
+        if !transfer {
+            self.syncs_skipped += 1;
+            self.clients.last_sync[ci] = now;
+            return;
+        }
+
+        // 5. The radio is waking up: apply queued cancellations, deliver
+        //    outstanding replicas, and ship the impression reports.
+        let cancellations = self.tracker.take_cancellations(c);
+        self.clients.cancel(ci, &cancellations);
+        std::mem::swap(&mut self.scratch_outbox, &mut self.clients.outbox[ci]);
+        let mut delivered_replicas = 0u64;
+        for i in 0..self.scratch_outbox.len() {
+            let ad = self.scratch_outbox[i];
+            if ad.deadline >= now {
+                self.clients.cache[ci].insert(ad);
+                delivered_replicas += 1;
+            }
+        }
+        self.scratch_outbox.clear();
+        std::mem::swap(
+            &mut self.scratch_reports,
+            &mut self.clients.pending_reports[ci],
+        );
+        let report_count = self.scratch_reports.len() as u64;
+        for i in 0..self.scratch_reports.len() {
+            let (ad, t) = self.scratch_reports[i];
+            let disposition = self.tracker.record_display(ad.0, c);
+            self.ledger.record_impression(ad, t);
+            if disposition == adpf_overbooking::DisplayDisposition::First {
+                // Every holder's queue shrinks: the reporter consumed the
+                // ad, the others will drop it on cancellation. Borrowing
+                // `tracker` and mutating `clients` are disjoint field
+                // accesses, so no defensive clone of the holder list.
+                if let Some(holders) = self.tracker.holders(ad.0) {
+                    for &h in holders {
+                        let q = &mut self.clients.queued[h as usize];
+                        *q = q.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        self.scratch_reports.clear();
+
+        // 6. Pay for the batched transfer.
+        let delivered = delivered_primaries + delivered_replicas;
+        let down =
+            delivered * self.config.ad_bytes_down + self.config.sync_overhead_bytes + rt_bytes.0;
+        let up =
+            report_count * self.config.ad_bytes_up + self.config.sync_overhead_bytes + rt_bytes.1;
+        self.clients.radio[ci].transfer(now, down, up);
+        if !link_latency.is_zero() {
+            // Degraded link: the round trip holds the radio active past
+            // the payload time (queued behind the transfer just issued).
+            self.clients.radio[ci].stall(now, link_latency);
+        }
+        self.syncs += 1;
+        self.clients.last_sync[ci] = now;
+    }
+
+    /// Chooses the holders of an ad sold at client `origin`'s sync: the
+    /// origin always keeps the primary copy (the ad was sold against *its*
+    /// predicted demand); insurance replicas are added only when the
+    /// origin's own display probability falls short of the SLA target.
+    ///
+    /// The replica set is sized to the *residual* risk: with origin
+    /// probability `p`, the replicas must jointly succeed with probability
+    /// `1 - (1 - target) / (1 - p)` for the whole set to meet `target`.
+    /// Replica candidates are drawn from a rotating cursor (spreading
+    /// placement load) and scored over the window in which they could
+    /// actually display: from the later of their next sync and the opening
+    /// of the replica window, to the deadline, discounted by the ads
+    /// already queued on them.
+    fn place_ad(
+        &mut self,
+        origin: usize,
+        now: SimTime,
+        deadline: SimTime,
+        pool_built: &mut bool,
+    ) -> InlineVec<u32, { PLAN_INLINE + 1 }> {
+        let lambda = self.cached_rate(origin, now, deadline);
+        let queued = self.clients.queued[origin];
+        let mean_session = self.clients.predictor[origin].mean_session_slots();
+        let p_origin = self
+            .avail
+            .display_probability_bursty(lambda, queued, mean_session);
+        let mut holders: InlineVec<u32, { PLAN_INLINE + 1 }> = InlineVec::new();
+        holders.push(origin as u32);
+        if p_origin >= self.config.sla_target {
+            return holders;
+        }
+        // Residual success probability required from the replicas.
+        let residual_target = 1.0 - (1.0 - self.config.sla_target) / (1.0 - p_origin).max(1e-9);
+        if residual_target <= 0.0 {
+            return holders;
+        }
+
+        if !*pool_built {
+            self.build_candidate_pool(origin, now, deadline);
+            *pool_built = true;
+        }
+        let plan = self.planner.plan(
+            &self.scratch_cands,
+            residual_target,
+            self.config.max_replicas.saturating_sub(1),
+        );
+        holders.extend_from_slice(&plan.clients);
+        holders
+    }
+
+    /// Evaluates the replica-candidate pool for one selling sync: the
+    /// next `candidate_pool - 1` clients under the rotating cursor, each
+    /// scored over the window in which it could actually display. Fills
+    /// `scratch_cands` (planner input) and the aligned `scratch_meta`
+    /// (the per-candidate rate inputs needed to re-score an entry when
+    /// its queue depth changes mid-sync).
+    fn build_candidate_pool(&mut self, origin: usize, now: SimTime, deadline: SimTime) {
+        self.scratch_cands.clear();
+        self.scratch_meta.clear();
+        self.obs.inc(self.mid.pool_builds, 1);
+        let n = self.clients.len();
+        if n <= 1 {
+            return;
+        }
+        let want = (self.config.candidate_pool - 1).min(n - 1);
+        let mut taken = 0;
+        // A replica can only display inside the final `replica_window`
+        // of the ad's life, and only after the holder has received it at
+        // a sync. Loop-invariant: hoisted out of the candidate scan.
+        let window_open = deadline.saturating_sub(self.config.replica_window).max(now);
+        while taken < want {
+            self.cand_cursor = (self.cand_cursor + 1) % n;
+            let j = self.cand_cursor;
+            if j == origin {
+                continue;
+            }
+            taken += 1;
+            let start = self.clients.next_sync[j].max(window_open);
+            if start >= deadline {
+                continue; // Cannot receive the ad in time; skip the
+                          // rate evaluation entirely.
+            }
+            let lambda_j = self.cached_rate(j, start, deadline);
+            let queued_j = self.clients.queued[j];
+            let mean_session_j = self.clients.predictor[j].mean_session_slots();
+            let prob = self
+                .avail
+                .display_probability_bursty(lambda_j, queued_j, mean_session_j);
+            self.scratch_cands.push(ClientAvailability {
+                client: j as u32,
+                prob,
+            });
+            self.scratch_meta.push((lambda_j, mean_session_j));
+        }
+        self.obs
+            .inc(self.mid.pool_scored, self.scratch_cands.len() as u64);
+    }
+
+    /// Re-scores the pool entries of freshly chosen replica holders
+    /// (their `queued` just grew). The rate inputs come from
+    /// `scratch_meta`; only the Poisson tail is re-evaluated, and the
+    /// availability cache serves it from the already-memoized series.
+    fn refresh_pool_probs(&mut self, holders: &[u32]) {
+        // holders[0] is the origin, which is never in the pool.
+        for &h in holders.iter().skip(1) {
+            if let Some(pos) = self.scratch_cands.iter().position(|c| c.client == h) {
+                let (lambda, mean_session) = self.scratch_meta[pos];
+                let queued = self.clients.queued[h as usize];
+                self.scratch_cands[pos].prob =
+                    self.avail
+                        .display_probability_bursty(lambda, queued, mean_session);
+                self.obs.inc(self.mid.pool_rescored, 1);
+            }
+        }
+    }
+
+    /// `expected_rate` for client `j`, memoized per sync epoch.
+    ///
+    /// Valid because nothing a rate depends on — the client's predictor
+    /// state, its `next_sync`, the sale deadline — changes between the
+    /// ads sold at one sync (only `queued` moves, which feeds the
+    /// availability cache separately). The origin and candidates never
+    /// collide on an entry: `place_ad` skips `j == origin`.
+    fn cached_rate(&mut self, j: usize, start: SimTime, deadline: SimTime) -> f64 {
+        if self.lambda_epoch[j] == self.sync_epoch {
+            return self.lambda_cache[j];
+        }
+        let rate = self.clients.predictor[j].expected_rate(start, deadline.saturating_since(start));
+        self.lambda_epoch[j] = self.sync_epoch;
+        self.lambda_cache[j] = rate;
+        rate
+    }
+
+    fn on_expiry_sweep(&mut self, now: SimTime) {
+        // Bill by display timestamp: a displayed-but-unreported ad is not
+        // a violation, so the sweep waits out the worst-case report delay
+        // (one interval of deferral plus one interval to the next sync)
+        // before declaring one.
+        let grace = self.config.prefetch_interval.saturating_mul(2);
+        self.expire(now.saturating_sub(grace));
+        if self.net.is_some() {
+            self.rescue_dark_ads(now);
+        }
+        let next = now + SimDuration::from_hours(1);
+        if next <= self.horizon + self.config.deadline + grace {
+            self.schedule(next, EngineEvent::ExpirySweep);
+        }
+    }
+
+    /// One pacing-controller update, rescheduling itself every
+    /// `marketplace.pacing_interval` until the trace horizon. Runs on
+    /// the engine's event queue, so controller updates happen at
+    /// deterministic simulated times interleaved with the auction
+    /// stream — identical at any thread count.
+    fn on_pacing(&mut self, now: SimTime) {
+        self.exchange.pacing_tick(now, self.horizon);
+        let next = now + self.config.marketplace.pacing_interval;
+        if next <= self.horizon {
+            self.schedule(next, EngineEvent::Pacing);
+        }
+    }
+
+    /// Deadline rescue (netem only): ads due within the next prefetch
+    /// interval whose holders have *all* gone dark get one extra replica
+    /// on a reachable client that will sync before the deadline. Without
+    /// this, a regional outage turns every ad it strands into an SLA
+    /// violation even though connected clients could still display it.
+    fn rescue_dark_ads(&mut self, now: SimTime) {
+        let n = self.clients.len();
+        if n == 0 {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        self.tracker
+            .undisplayed_due_before(now + self.config.prefetch_interval, &mut due);
+        // The tracker iterates a HashMap; sort so rescue order (and the
+        // rotating cursor it advances) is deterministic.
+        due.sort_unstable();
+        for &(ad, deadline) in &due {
+            if deadline <= now {
+                continue; // Too late for any new holder to display it.
+            }
+            let Some(net) = self.net.as_mut() else { break };
+            // Copy the holder set out so the tracker can be mutated below.
+            let holders: InlineVec<u32, { PLAN_INLINE + 1 }> = match self.tracker.holders(ad) {
+                Some(h) => InlineVec::from_slice(h),
+                None => continue,
+            };
+            // Reachability only consults the link trajectory (no failure
+            // coin), so the scan cannot perturb later attempt outcomes.
+            if holders.iter().any(|&h| net.reachable(h as usize, now)) {
+                continue; // Some holder can still sync in time.
+            }
+            // Every holder is dark: scan from the rotating cursor for a
+            // reachable client whose next sync lands before the deadline.
+            let mut target = None;
+            for _ in 0..self.config.candidate_pool.min(n) {
+                self.cand_cursor = (self.cand_cursor + 1) % n;
+                let j = self.cand_cursor;
+                if holders.as_slice().contains(&(j as u32)) {
+                    continue;
+                }
+                if self.clients.next_sync[j] < deadline && net.reachable(j, now) {
+                    target = Some(j as u32);
+                    break;
+                }
+            }
+            match target {
+                Some(t) if self.tracker.rescue_to(ad, t) => {
+                    self.obs.inc(self.mid.netem_ads_rescued, 1);
+                    self.replicas_assigned += 1;
+                    self.clients.queued[t as usize] += 1;
+                    self.clients.outbox[t as usize].push(CachedAd {
+                        id: AdId(ad),
+                        deadline,
+                        replica: true,
+                    });
+                }
+                _ => self.obs.inc(self.mid.netem_rescues_unplaced, 1),
+            }
+        }
+        self.scratch_due = due;
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        for (ad, campaign, price) in self.ledger.expire_due(now) {
+            self.exchange.refund(campaign, price);
+            if !self.tracker.is_displayed(ad.0) {
+                if let Some(holders) = self.tracker.holders(ad.0) {
+                    // Disjoint field borrows: read `tracker`, write
+                    // `clients` — no clone needed.
+                    for &h in holders {
+                        let q = &mut self.clients.queued[h as usize];
+                        *q = q.saturating_sub(1);
+                    }
+                }
+            }
+            self.tracker.remove(ad.0);
+        }
+    }
+
+    /// Settles all outstanding state and produces the run's report plus
+    /// its metric registry. Call after the external stream ended and
+    /// [`ClientEngine::drain_internal`] ran.
+    pub fn finalize(mut self) -> (SimReport, MetricRegistry) {
+        // Flush reports that never made it to a final sync (trace ended
+        // first); without this, genuinely displayed ads would be
+        // misclassified as SLA violations.
+        for ci in 0..self.clients.len() {
+            let reports = std::mem::take(&mut self.clients.pending_reports[ci]);
+            for (ad, t) in reports {
+                self.tracker.record_display(ad.0, ci as u32);
+                self.ledger.record_impression(ad, t);
+            }
+        }
+        // Settle everything still pending.
+        self.expire(self.horizon + self.config.deadline + SimDuration::from_millis(1));
+
+        let mut energy = EnergyBreakdown::default();
+        let mut per_user = Vec::with_capacity(self.clients.len());
+        let flush_at = self.horizon + self.config.radio.tail_duration();
+        for radio in &mut self.clients.radio {
+            let e = radio.finish(flush_at);
+            per_user.push(e.total_j());
+            e.publish_residency(&self.obs);
+            energy.absorb(&e);
+        }
+
+        // Fold the domain-layer stats into the registry so one snapshot
+        // covers the whole stack. All of these count simulated events, so
+        // they stay deterministic regardless of whether metrics export is
+        // requested.
+        self.tracker.publish(&self.obs);
+        self.exchange.publish(&self.obs);
+        if let Some(net) = &self.net {
+            net.publish(&self.obs);
+        }
+        let slots = self.slots_seen;
+        self.obs.add("sim.slots", slots);
+        self.obs.add("sim.impressions", self.impressions);
+        self.obs.add("sim.cache_hits", self.cache_hits);
+        self.obs.add("sim.realtime_fetches", self.realtime_fetches);
+        self.obs.add("sim.unfilled", self.unfilled);
+        self.obs.add("sim.syncs", self.syncs);
+        self.obs.add("sim.syncs_skipped", self.syncs_skipped);
+        self.obs.add("sim.syncs_dropped", self.syncs_dropped);
+        self.obs
+            .add("sim.replicas_assigned", self.replicas_assigned);
+        self.obs.gauge_max("sim.users", self.clients.len() as u64);
+
+        // `SimReport::netem` is *derived* from the registry: the counters
+        // are the single source of truth, the report field only preserves
+        // the serialized shape (and hash inputs) of earlier revisions.
+        let netem = NetemCounters::from_metrics(&self.obs);
+
+        let report = SimReport {
+            config: self.config.describe(),
+            users: self.clients.len() as u32,
+            days: self.days,
+            slots,
+            impressions: self.impressions,
+            cache_hits: self.cache_hits,
+            realtime_fetches: self.realtime_fetches,
+            unfilled: self.unfilled,
+            energy,
+            syncs: self.syncs,
+            syncs_skipped: self.syncs_skipped,
+            syncs_dropped: self.syncs_dropped,
+            replicas_assigned: self.replicas_assigned,
+            netem,
+            per_user_energy_j: per_user,
+            ledger: self.ledger.totals(),
+        };
+        (report, self.obs)
+    }
+}

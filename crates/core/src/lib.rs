@@ -39,12 +39,14 @@
 
 pub mod client;
 pub mod config;
+pub mod engine;
 pub mod report;
 pub mod sim;
 
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
+pub use engine::{ClientEngine, EngineEvent, SlotFeed};
 pub use report::{NetemCounters, SimReport};
 pub use sim::{
-    default_shards, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS, MAX_USERS_PER_SHARD,
-    USERS_PER_SHARD,
+    default_shards, shard_configs, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS,
+    MAX_USERS_PER_SHARD, USERS_PER_SHARD,
 };

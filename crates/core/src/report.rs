@@ -299,6 +299,91 @@ impl SimReport {
         }
         s
     }
+
+    /// FNV-1a over a canonical byte serialization of every report field.
+    ///
+    /// Any change to any simulated outcome — a counter, a float bit, a
+    /// per-user energy entry — changes this hash, which is what makes it
+    /// a cheap determinism witness: the bench baseline records it, ci.sh
+    /// gates on it, and the serve smoke gate compares a live server's
+    /// final report against the batch golden through it. Stable across
+    /// platforms and dependency-free by construction.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.config.as_bytes());
+        h.write_u64(self.users as u64);
+        h.write_u64(self.days as u64);
+        h.write_u64(self.slots);
+        h.write_u64(self.impressions);
+        h.write_u64(self.cache_hits);
+        h.write_u64(self.realtime_fetches);
+        h.write_u64(self.unfilled);
+        h.write_f64(self.energy.promotion_j);
+        h.write_f64(self.energy.transfer_j);
+        h.write_f64(self.energy.tail_j);
+        h.write_u64(self.energy.transfers);
+        h.write_u64(self.energy.promotions);
+        h.write_u64(self.energy.bytes_down);
+        h.write_u64(self.energy.bytes_up);
+        h.write_u64(self.energy.active_time.as_millis());
+        h.write_u64(self.syncs);
+        h.write_u64(self.syncs_skipped);
+        h.write_u64(self.syncs_dropped);
+        h.write_u64(self.replicas_assigned);
+        // Netem counters fold in only when any is nonzero: netem-off runs
+        // keep the exact pre-netem byte stream, so recorded golden hashes
+        // (e.g. the ci.sh smoke golden) stay valid.
+        if self.netem != NetemCounters::default() {
+            h.write_u64(self.netem.sync_failures);
+            h.write_u64(self.netem.retries_scheduled);
+            h.write_u64(self.netem.retries_succeeded);
+            h.write_u64(self.netem.syncs_abandoned);
+            h.write_u64(self.netem.realtime_failures);
+            h.write_u64(self.netem.ads_rescued);
+            h.write_u64(self.netem.rescues_unplaced);
+        }
+        h.write_u64(self.per_user_energy_j.len() as u64);
+        for &e in &self.per_user_energy_j {
+            h.write_f64(e);
+        }
+        h.write_u64(self.ledger.sold);
+        h.write_u64(self.ledger.billed);
+        h.write_f64(self.ledger.revenue);
+        h.write_f64(self.ledger.sold_value);
+        h.write_u64(self.ledger.expired);
+        h.write_f64(self.ledger.refunded);
+        h.write_u64(self.ledger.duplicates);
+        h.write_u64(self.ledger.late_displays);
+        h.finish()
+    }
+}
+
+/// 64-bit FNV-1a, dependency-free and stable across platforms.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

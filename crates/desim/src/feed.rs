@@ -1,0 +1,60 @@
+//! External event feeds: the seam between an event consumer and whatever
+//! produces its timestamped input stream.
+//!
+//! A discrete-event consumer (the batch simulator, the online serving
+//! engine) doesn't care whether its external events come from a
+//! precomputed in-memory vector, a lazily generated trace shard, or a
+//! socket — only that they arrive as `(time, event)` pairs in
+//! non-decreasing time order. [`EventFeed`] captures exactly that
+//! contract, so one engine implementation can be driven by a batch
+//! replay and a live ingest stream alike.
+
+use crate::time::SimTime;
+
+/// A pull-based source of timestamped external events.
+///
+/// # Contract
+///
+/// Successive calls must return non-decreasing timestamps; once `next`
+/// returns `None` the stream has ended and every later call must also
+/// return `None`. Consumers are entitled to interleave their own
+/// internal processing between pulls, so a feed must not depend on
+/// being drained promptly.
+pub trait EventFeed {
+    /// The payload carried by each external event.
+    type Event;
+
+    /// Pulls the next external event, or `None` at end of stream.
+    fn next(&mut self) -> Option<(SimTime, Self::Event)>;
+}
+
+/// Blanket adapter: any iterator of `(time, event)` pairs already sorted
+/// by time is a feed.
+impl<E, I: Iterator<Item = (SimTime, E)>> EventFeed for I {
+    type Event = E;
+
+    fn next(&mut self) -> Option<(SimTime, E)> {
+        Iterator::next(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_iterators_are_feeds() {
+        let events = [
+            (SimTime::from_secs(1), "a"),
+            (SimTime::from_secs(1), "b"),
+            (SimTime::from_secs(3), "c"),
+        ];
+        let mut feed = events.into_iter();
+        let mut seen = Vec::new();
+        while let Some((t, e)) = EventFeed::next(&mut feed) {
+            seen.push((t, e));
+        }
+        assert_eq!(seen, events);
+        assert!(EventFeed::next(&mut feed).is_none(), "stays exhausted");
+    }
+}

@@ -13,6 +13,9 @@
 //!   plus a far-event heap) sized for per-second slot cadences.
 //! - [`engine`]: a small actor-style driver ([`Simulation`]) for components
 //!   that want an inversion-of-control event loop.
+//! - [`feed`]: the [`EventFeed`] pull abstraction over sorted external
+//!   event streams, letting one consumer be driven by a batch replay or
+//!   a live ingest source alike.
 //! - [`smallvec`]: an [`InlineVec`] small-vector used by hot simulator
 //!   loops to build short lists without heap allocation.
 //! - [`steal`]: a [`WorkQueue`] atomic work queue that hands out indices
@@ -33,12 +36,14 @@
 //! ```
 
 pub mod engine;
+pub mod feed;
 pub mod queue;
 pub mod smallvec;
 pub mod steal;
 pub mod time;
 
 pub use engine::{Actor, EventKind, Scheduler, Simulation};
+pub use feed::EventFeed;
 pub use queue::EventQueue;
 pub use smallvec::InlineVec;
 pub use steal::WorkQueue;

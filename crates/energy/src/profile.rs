@@ -102,6 +102,17 @@ pub mod profiles {
     use super::{RadioProfile, TailPhase};
     use adpf_desim::SimDuration;
 
+    /// Resolves a CLI profile name (`3g`, `lte`, `wifi`). The canonical
+    /// name set shared by the `simulate` and `serve` binaries.
+    pub fn by_name(name: &str) -> Result<RadioProfile, String> {
+        Ok(match name {
+            "3g" => umts_3g(),
+            "lte" => lte(),
+            "wifi" => wifi(),
+            other => return Err(format!("unknown radio `{other}`")),
+        })
+    }
+
     /// 3G UMTS: IDLE → DCH promotion ~2 s; DCH tail ~5 s at ~800 mW, then
     /// FACH tail ~12 s at ~460 mW (Balasubramanian et al., IMC 2009).
     pub fn umts_3g() -> RadioProfile {

@@ -155,6 +155,23 @@ pub struct NetemConfig {
 }
 
 impl NetemConfig {
+    /// Resolves a CLI preset name (`off`, `flaky`, `degraded`,
+    /// `blackout`). The canonical name set shared by the `simulate` and
+    /// `serve` binaries.
+    pub fn parse_preset(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "off" => NetemConfig::disabled(),
+            "flaky" => NetemConfig::flaky_cellular(),
+            "degraded" => NetemConfig::degraded(),
+            // A correlated-failure scenario: flaky conditions plus a
+            // 6-hour blackout of half the population starting on day 2.
+            "blackout" => {
+                NetemConfig::flaky_cellular().with_outage(48, SimDuration::from_hours(6), 0.5)
+            }
+            other => return Err(format!("unknown netem preset `{other}`")),
+        })
+    }
+
     /// The ideal network: netem off, every attempt succeeds instantly.
     pub fn disabled() -> Self {
         Self {

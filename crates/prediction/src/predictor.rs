@@ -74,6 +74,22 @@ pub enum PredictorKind {
 }
 
 impl PredictorKind {
+    /// Resolves a CLI predictor name (`session`, `day-hour`, `tod`,
+    /// `markov`, `mean`, `oracle`, `zero`). The canonical name set shared
+    /// by the `simulate` and `serve` binaries.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "session" => PredictorKind::SessionAware,
+            "day-hour" => PredictorKind::DayHour,
+            "tod" => PredictorKind::TimeOfDay,
+            "markov" => PredictorKind::Markov,
+            "mean" => PredictorKind::GlobalRate,
+            "oracle" => PredictorKind::Oracle,
+            "zero" => PredictorKind::Zero,
+            other => return Err(format!("unknown predictor `{other}`")),
+        })
+    }
+
     /// Builds a predictor. `oracle_slots` is consulted only by
     /// [`PredictorKind::Oracle`]; pass the user's full slot-time series
     /// there (an empty slice yields an oracle that predicts zero).

@@ -80,17 +80,39 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> Result<(), CsvError> {
     Ok(())
 }
 
-/// Reads a trace from `r`.
-///
-/// When the `#meta` line is absent (hand-authored files), the population
-/// size is inferred as `max(user id) + 1` and the horizon as the last
-/// session end; both can be widened by rebuilding with [`Trace::new`].
-pub fn read_trace<R: Read>(r: R) -> Result<Trace, CsvError> {
+/// What one pass over a trace file learns besides the sessions
+/// themselves: the `#meta` declarations and the inferred bounds.
+struct ScanMeta {
+    meta_users: Option<u32>,
+    meta_horizon: Option<u64>,
+    max_user: u32,
+    saw_session: bool,
+}
+
+impl ScanMeta {
+    /// Population size: declared, widened to cover every seen user id.
+    fn num_users(&self) -> u32 {
+        let inferred = if self.saw_session {
+            self.max_user + 1
+        } else {
+            0
+        };
+        self.meta_users.unwrap_or(inferred).max(inferred)
+    }
+}
+
+/// One streaming pass over the CSV format, handing each parsed session
+/// to `on_session` instead of materializing a vector. The shared core
+/// of [`read_trace`] (collect everything), [`trace_dims`] (collect
+/// nothing), and [`read_trace_shard`] (collect one user range).
+fn scan<R: Read>(r: R, mut on_session: impl FnMut(Session)) -> Result<ScanMeta, CsvError> {
     let reader = BufReader::new(r);
-    let mut sessions = Vec::new();
-    let mut max_user = 0u32;
-    let mut meta_users: Option<u32> = None;
-    let mut meta_horizon: Option<u64> = None;
+    let mut meta = ScanMeta {
+        meta_users: None,
+        meta_horizon: None,
+        max_user: 0,
+        saw_session: false,
+    };
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let line_no = idx + 1;
@@ -101,9 +123,9 @@ pub fn read_trace<R: Read>(r: R) -> Result<Trace, CsvError> {
         if let Some(rest) = trimmed.strip_prefix("#meta,") {
             for field in rest.split(',') {
                 if let Some(v) = field.strip_prefix("users=") {
-                    meta_users = Some(parse_field(v, "users", line_no)?);
+                    meta.meta_users = Some(parse_field(v, "users", line_no)?);
                 } else if let Some(v) = field.strip_prefix("horizon_ms=") {
-                    meta_horizon = Some(parse_field(v, "horizon_ms", line_no)?);
+                    meta.meta_horizon = Some(parse_field(v, "horizon_ms", line_no)?);
                 }
             }
             continue;
@@ -137,18 +159,74 @@ pub fn read_trace<R: Read>(r: R) -> Result<Trace, CsvError> {
                 reason: "too many fields".to_string(),
             });
         }
-        max_user = max_user.max(user);
-        sessions.push(Session {
+        meta.max_user = meta.max_user.max(user);
+        meta.saw_session = true;
+        on_session(Session {
             user: UserId(user),
             app: AppId(app),
             start: SimTime::from_millis(start),
             duration: SimDuration::from_millis(duration),
         });
     }
-    let inferred_users = if sessions.is_empty() { 0 } else { max_user + 1 };
-    let num_users = meta_users.unwrap_or(inferred_users).max(inferred_users);
-    let horizon = SimTime::from_millis(meta_horizon.unwrap_or(0));
-    Ok(Trace::new(sessions, num_users, horizon))
+    Ok(meta)
+}
+
+/// Reads a trace from `r`.
+///
+/// When the `#meta` line is absent (hand-authored files), the population
+/// size is inferred as `max(user id) + 1` and the horizon as the last
+/// session end; both can be widened by rebuilding with [`Trace::new`].
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, CsvError> {
+    let mut sessions = Vec::new();
+    let meta = scan(r, |s| sessions.push(s))?;
+    let horizon = SimTime::from_millis(meta.meta_horizon.unwrap_or(0));
+    Ok(Trace::new(sessions, meta.num_users(), horizon))
+}
+
+/// Scans a trace file for its population size and horizon (in
+/// milliseconds) without materializing any session.
+///
+/// This is the recorded-trace counterpart of knowing a
+/// `PopulationConfig`'s `num_users`/`days` up front: it is all the
+/// streaming pipeline needs to derive shard ranges before any shard's
+/// sessions exist in memory. The horizon matches what
+/// [`read_trace`]`(r)?.horizon()` would report — the declared `#meta`
+/// horizon widened to cover the last session end.
+pub fn trace_dims<R: Read>(r: R) -> Result<(u32, u64), CsvError> {
+    let mut last_end_ms = 0u64;
+    let meta = scan(r, |s| last_end_ms = last_end_ms.max(s.end().as_millis()))?;
+    let horizon_ms = meta.meta_horizon.unwrap_or(0).max(last_end_ms);
+    Ok((meta.num_users(), horizon_ms))
+}
+
+/// Reads only the users of `range` from a trace file, renumbered to
+/// shard-local ids (`user - range.start`) — byte-identical to
+/// [`read_trace`]`(r)?.split_users(n)[i]` when `range` is shard `i` of
+/// a [`crate::shard_ranges`] split and `horizon_ms` comes from
+/// [`trace_dims`].
+///
+/// Peak memory is O(sessions-in-range), which is what lets the
+/// streaming pipeline replay recorded traces far larger than RAM: each
+/// worker re-reads the file but keeps only its own shard's sessions.
+pub fn read_trace_shard<R: Read>(
+    r: R,
+    range: core::ops::Range<u32>,
+    horizon_ms: u64,
+) -> Result<Trace, CsvError> {
+    let mut sessions = Vec::new();
+    scan(r, |s| {
+        if range.contains(&s.user.0) {
+            sessions.push(Session {
+                user: UserId(s.user.0 - range.start),
+                ..s
+            });
+        }
+    })?;
+    Ok(Trace::new(
+        sessions,
+        range.end - range.start,
+        SimTime::from_millis(horizon_ms),
+    ))
 }
 
 fn parse_field<T: std::str::FromStr>(s: &str, name: &str, line: usize) -> Result<T, CsvError> {
@@ -237,6 +315,50 @@ mod tests {
         let t = read_trace("".as_bytes()).unwrap();
         assert_eq!(t.sessions().len(), 0);
         assert_eq!(t.num_users(), 0);
+    }
+
+    #[test]
+    fn trace_dims_matches_full_read() {
+        let trace = PopulationConfig::small_test(31).generate();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let (users, horizon_ms) = trace_dims(&buf[..]).unwrap();
+        assert_eq!(users, trace.num_users());
+        assert_eq!(horizon_ms, trace.horizon().as_millis());
+        // Meta-free files infer both bounds, like read_trace does.
+        let data = format!("{HEADER}\n3,1,1000,2000\n");
+        let (users, horizon_ms) = trace_dims(data.as_bytes()).unwrap();
+        assert_eq!(users, 4);
+        assert_eq!(horizon_ms, 3000);
+    }
+
+    #[test]
+    fn shard_reads_match_split_users() {
+        // The streaming-input contract: per-shard file reads must be
+        // byte-identical to materializing the whole trace and splitting
+        // it, for every shard of the same shard_ranges cut.
+        let trace = PopulationConfig::small_test(29).generate();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let (users, horizon_ms) = trace_dims(&buf[..]).unwrap();
+        for n in [1, 3, 7] {
+            let split = trace.split_users(n);
+            let ranges = crate::shard_ranges(users, n);
+            assert_eq!(split.len(), ranges.len());
+            for (shard, range) in split.iter().zip(ranges) {
+                let streamed = read_trace_shard(&buf[..], range, horizon_ms).unwrap();
+                assert_eq!(*shard, streamed);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_read_of_empty_range_is_an_empty_population() {
+        let data = format!("{HEADER}\n#meta,users=10,horizon_ms=5000\n3,1,1000,2000\n");
+        let t = read_trace_shard(data.as_bytes(), 5..8, 5000).unwrap();
+        assert_eq!(t.num_users(), 3);
+        assert_eq!(t.sessions().len(), 0);
+        assert_eq!(t.horizon().as_millis(), 5000);
     }
 
     #[test]

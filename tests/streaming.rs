@@ -108,6 +108,34 @@ fn streaming_handles_shard_count_above_user_count() {
 }
 
 #[test]
+fn streaming_a_csv_file_matches_the_materialized_read() {
+    // Recorded-trace streaming (PR 8): re-reading the file per shard
+    // through `csv::read_trace_shard` must reproduce the classic
+    // read-whole-file-then-split pipeline byte for byte — the CSV
+    // input side of the same ShardSupply seam the generators use.
+    let pop = PopulationConfig::small_test(777);
+    let trace = pop.generate();
+    let mut buf = Vec::new();
+    adpf_traces::csv::write_trace(&trace, &mut buf).unwrap();
+    let (users, horizon_ms) = adpf_traces::csv::trace_dims(&buf[..]).unwrap();
+    assert_eq!(users, trace.num_users());
+
+    let cfg = SystemConfig::prefetch_default(5);
+    let n_shards = default_shards(users);
+    let ranges = adpf_traces::shard_ranges(users, n_shards);
+    let materialized = Simulator::run_parallel(&cfg, &trace, 2);
+    for threads in [1usize, 4] {
+        let streamed = Simulator::run_streaming(&cfg, users, n_shards, threads, |i| {
+            adpf_traces::csv::read_trace_shard(&buf[..], ranges[i].clone(), horizon_ms).unwrap()
+        });
+        assert_eq!(
+            materialized, streamed,
+            "file streaming diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn observed_streaming_matches_plain_streaming_and_records_rss() {
     let pop = PopulationConfig::small_test(777);
     let cfg = SystemConfig::prefetch_default(5);
