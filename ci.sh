@@ -16,6 +16,12 @@
 # golden (metrics are a pure spectator), the exported JSON lines must
 # pass the schema validator, and collection overhead must stay under 3%.
 #
+# The throughput gate (`--perf-check`) replays the smoke workload
+# single-threaded and fails if its best-of-N events/s falls more than 10%
+# below the committed `batched-hotpath` smoke row in BENCH_baseline.json.
+# It skips itself with exit 0 when the host's 1-minute load average shows
+# outside contention — wall-clock throughput means nothing on a busy box.
+#
 # The memory gate (`--mem-check`) streams a mid-size workload through the
 # bounded-memory pipeline and fails if peak RSS exceeds the ceiling
 # committed in the baseline binary — catching any change that quietly
@@ -53,6 +59,10 @@ marketplace_gates() {
 
 perf_scaling() {
     ./target/release/baseline --scaling-check
+}
+
+perf_check() {
+    ./target/release/baseline --perf-check
 }
 
 perf_mem() {
@@ -99,6 +109,7 @@ if [ "${1:-}" = "quick" ]; then
     perf_smoke
     perf_obs
     perf_scaling
+    perf_check
     perf_mem
     perf_serve
     marketplace_gates
@@ -113,5 +124,6 @@ no_library_prints
 perf_smoke
 perf_obs
 perf_scaling
+perf_check
 perf_mem
 perf_serve

@@ -196,8 +196,9 @@ pub struct BaselineMeasurement {
 }
 
 /// The serve-only measurement columns: request throughput and the
-/// enqueue-to-decision latency percentiles (upper bounds of the log2
-/// histogram buckets, see `adpf_obs::Histogram::quantile_upper_bound`).
+/// enqueue-to-decision latency percentiles (upper bounds of the
+/// log-linear histogram buckets — within 25% of the true sample, see
+/// `adpf_obs::Histogram::quantile_upper_bound`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeColumns {
     /// Slot events decided by the server.
@@ -318,7 +319,7 @@ pub fn measure_streaming(
 /// the batch run of the same workload (`tests/serving.rs` proves it;
 /// the recorded `report_hash` column is held to the same golden), and
 /// the extra [`ServeColumns`] carry requests/s plus the p50/p95/p99
-/// decision latencies from the server's log2 histogram.
+/// decision latencies from the server's log-linear histogram.
 pub fn measure_serve(
     workload: &BaselineWorkload,
     threads: usize,

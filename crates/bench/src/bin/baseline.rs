@@ -11,6 +11,7 @@
 //! baseline --scaling-check                # CI gate: 4 threads must beat 1 thread
 //! baseline --obs-check --metrics-out m.jsonl  # CI gate: metrics change nothing
 //! baseline --mem-check                    # CI gate: streaming stays bounded-memory
+//! baseline --perf-check                   # CI gate: smoke throughput holds its floor
 //! ```
 //!
 //! `--smoke` runs the small fixed-seed workload at 1 and 4 threads,
@@ -31,6 +32,14 @@
 //! `--metrics-out PATH` the exported JSON lines must pass the schema
 //! validator after a round trip through the filesystem.
 //!
+//! `--perf-check` replays the smoke workload single-threaded and fails
+//! if the best-of-N events/s lands more than 10% below the committed
+//! `batched-hotpath` smoke baseline in `BENCH_baseline.json` (`--out`
+//! selects another file). Wall-clock throughput is meaningless on a
+//! contended host, so the gate skips itself (exit 0) when the 1-minute
+//! load average exceeds the CPU count by more than half a core — the
+//! same spirit as `--scaling-check`'s skip on single-CPU hosts.
+//!
 //! `--mem-check` runs a mid-size workload through the streaming pipeline
 //! and fails if the process's peak RSS exceeds a committed ceiling. The
 //! streaming pipeline's contract is that peak memory is
@@ -50,6 +59,18 @@ use adpf_obs::{to_json_lines, validate_json_lines};
 
 /// Minimum 4-thread / 1-thread events/s ratio `--scaling-check` accepts.
 const SCALING_FLOOR: f64 = 1.5;
+
+/// Fraction of the committed `batched-hotpath` smoke events/s that
+/// `--perf-check` still accepts: regressions beyond 10% fail the gate.
+const PERF_CHECK_FLOOR: f64 = 0.90;
+
+/// Repetitions for `--perf-check`; the best events/s across reps is
+/// compared, which suppresses scheduler noise on busy CI hosts.
+const PERF_CHECK_REPS: usize = 5;
+
+/// How far the 1-minute load average may exceed the CPU count before
+/// `--perf-check` declares the host too contended to time anything.
+const PERF_CHECK_LOAD_SLACK: f64 = 0.5;
 
 /// Peak-RSS ceiling for `--mem-check`, in MiB. The gate workload
 /// (100k users, one day) streams in roughly half of this on the CI
@@ -73,6 +94,43 @@ const OBS_OVERHEAD_CEILING_PCT: f64 = 3.0;
 /// Nine reps keep the gate stable on busy single-CPU CI hosts.
 const OBS_REPS: usize = 9;
 
+/// The committed single-thread smoke throughput `--perf-check` gates
+/// against: the `events_per_sec` of the last `batched-hotpath` smoke
+/// entry at `threads: 1` in the baseline file.
+fn committed_smoke_baseline(path: &str) -> Result<f64, String> {
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut found = None;
+    for line in contents.lines() {
+        if line.contains("\"label\":\"batched-hotpath\"")
+            && line.contains("\"workload\":\"smoke-small-777\"")
+            && line.contains("\"threads\":1,")
+        {
+            if let Some(v) = extract_f64(line, "\"events_per_sec\":") {
+                found = Some(v); // Last entry wins, like a log.
+            }
+        }
+    }
+    found.ok_or_else(|| format!("no batched-hotpath smoke row at threads=1 in {path}"))
+}
+
+/// The number right after `key` in a single JSON line (no parser needed
+/// for the baseline file's flat schema).
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Host 1-minute load average, when the platform exposes it.
+fn load_1min() -> Option<f64> {
+    std::fs::read_to_string("/proc/loadavg")
+        .ok()?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = String::from("current");
@@ -80,6 +138,7 @@ fn main() -> ExitCode {
     let mut threads_list = vec![1usize, 2, 4, 8];
     let mut smoke = false;
     let mut scaling_check = false;
+    let mut perf_check = false;
     let mut obs_check = false;
     let mut mem_check = false;
     let mut stream = false;
@@ -96,6 +155,10 @@ fn main() -> ExitCode {
                 scaling_check = true;
                 i += 1;
             }
+            "--perf-check" => {
+                perf_check = true;
+                i += 1;
+            }
             "--obs-check" => {
                 obs_check = true;
                 i += 1;
@@ -110,8 +173,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: baseline [--smoke] [--scaling-check] [--obs-check] [--mem-check] \
-                     [--label NAME] [--out PATH] [--metrics-out PATH] \
+                    "usage: baseline [--smoke] [--scaling-check] [--perf-check] [--obs-check] \
+                     [--mem-check] [--label NAME] [--out PATH] [--metrics-out PATH] \
                      [--workload e14|smoke|serve|memcheck|scale-100k|scale-1m] [--stream] \
                      [--threads-list 1,2,4,8]"
                 );
@@ -231,6 +294,51 @@ fn main() -> ExitCode {
             eprintln!(
                 "obs-check FAILED: overhead {:.2}% > {OBS_OVERHEAD_CEILING_PCT}%",
                 o.overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if perf_check {
+        let committed = match committed_smoke_baseline(&out) {
+            Ok(v) => v,
+            Err(why) => {
+                eprintln!(
+                    "perf-check FAILED: {why} — record one with \
+                     `baseline --label batched-hotpath --workload smoke --threads-list 1`"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let cpus = host_cpus();
+        if let Some(load) = load_1min() {
+            if load > cpus.max(1) as f64 + PERF_CHECK_LOAD_SLACK {
+                println!(
+                    "perf-check: SKIPPED (1-min load {load:.2} over {cpus} cpus; wall-clock \
+                     throughput is not meaningful under contention)"
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+        let w = BaselineWorkload::smoke();
+        let mut best = 0.0f64;
+        let mut hash = 0u64;
+        for _ in 0..PERF_CHECK_REPS {
+            let m = measure(&w, 1, "perf-check");
+            best = best.max(m.events_per_sec);
+            hash = m.report_hash;
+        }
+        let floor = committed * PERF_CHECK_FLOOR;
+        println!(
+            "perf-check: {best:.0} events/s best-of-{PERF_CHECK_REPS} vs committed {committed:.0} \
+             (floor {floor:.0}, hash {hash:016x})"
+        );
+        if best < floor {
+            eprintln!(
+                "perf-check FAILED: {best:.0} events/s < {floor:.0} — the hot path regressed \
+                 more than {:.0}% below the committed batched-hotpath baseline",
+                (1.0 - PERF_CHECK_FLOOR) * 100.0
             );
             return ExitCode::FAILURE;
         }

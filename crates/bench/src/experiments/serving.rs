@@ -19,8 +19,9 @@ use crate::scale::Scale;
 use crate::table::{f, pct, Table};
 
 /// Decision-latency SLA for the miss-rate column, in microseconds.
-/// Deliberately a power of two: log₂ bucket 11 starts exactly at
-/// 1024 µs, so "missed the SLA" is an exact bucket sum, not a
+/// Deliberately a power of two: every octave boundary is also a
+/// log-linear sub-bucket boundary, so a bucket starts exactly at
+/// 1024 µs and "missed the SLA" is an exact bucket sum, not a
 /// bucket-boundary approximation.
 const SLA_US: u64 = 1024;
 
@@ -50,7 +51,7 @@ pub fn e20_serving_load(scale: Scale) -> Table {
         "E20",
         "closed-loop serving: offered load × threads → latency + SLA misses",
         "the online server decides the replayed slot stream in-line; percentiles are \
-         log2-bucket upper bounds from the serve.decision_latency_us histogram and the \
+         log-linear-bucket upper bounds from the serve.decision_latency_us histogram and the \
          SLA column counts decisions at 1024 us or slower",
         &[
             "users",

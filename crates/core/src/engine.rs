@@ -42,7 +42,7 @@
 
 use adpf_auction::{AdId, CampaignCatalog, Exchange, ImpressionOutcome, Ledger, SlotOffer};
 use adpf_desim::feed::EventFeed;
-use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime};
+use adpf_desim::{EventQueue, InlineVec, SimDuration, SimTime, BUCKET_SPAN_MS};
 use adpf_energy::{EnergyBreakdown, Radio};
 use adpf_netem::NetworkModel;
 use adpf_obs::{MetricId, MetricRegistry, ObsSink};
@@ -146,6 +146,35 @@ pub enum EngineEvent {
     Pacing,
 }
 
+/// The reusable allocation set of a [`ClientEngine`]: its internal event
+/// queue plus every scratch and memo buffer.
+///
+/// A worker thread that simulates many shards hands the buffers from one
+/// finished engine ([`ClientEngine::finalize_reclaim`]) to the next
+/// ([`ClientEngine::with_scratch`]) so per-shard construction stops paying
+/// the allocation (and warm-up) cost of the queue ring and scratch
+/// vectors. Reuse is exact: construction clears every buffer, resets the
+/// queue's sequence counter and window, and zero-fills the epoch vectors —
+/// and every epoch/build-id scheme in the engine starts counting at 1, so
+/// a zero-filled memo can never produce a false hit.
+#[derive(Default)]
+pub struct EngineScratch {
+    queue: EventQueue<EngineEvent>,
+    lambda_epoch: Vec<u64>,
+    lambda_cache: Vec<f64>,
+    pool_pos: Vec<u32>,
+    pool_epoch: Vec<u64>,
+    scratch_slot_times: Vec<SimTime>,
+    scratch_outbox: Vec<CachedAd>,
+    scratch_reports: Vec<(AdId, SimTime)>,
+    scratch_cands: Vec<ClientAvailability>,
+    scratch_meta: Vec<(f64, f64)>,
+    scratch_due: Vec<(u64, SimTime)>,
+    scratch_gather: Vec<(u32, SimTime)>,
+    scratch_cancel: Vec<u64>,
+    scratch_batch: Vec<(SimTime, EngineEvent)>,
+}
+
 /// A feed over a precomputed, time-sorted ad-slot stream: the batch
 /// simulator's view of its trace, expressed as the same [`EventFeed`]
 /// the online server implements over its ingest channel.
@@ -195,6 +224,12 @@ pub struct ClientEngine {
     /// Cached time of the earliest internal event, so the per-slot
     /// "anything due before `t`?" check is a compare, not a queue scan.
     next_internal: Option<SimTime>,
+    /// Drain internal events one near-lane bucket at a time instead of
+    /// one event at a time. True only when `config.batched` is set AND
+    /// every self-scheduling delta of this configuration is at least one
+    /// bucket span, which is what makes batching *exact* (see
+    /// [`ClientEngine::drain_internal_before`]).
+    batched: bool,
     cand_cursor: usize,
     /// Randomness for failure injection (sync dropout).
     fault_rng: StdRng,
@@ -225,6 +260,14 @@ pub struct ClientEngine {
     /// per client per sync is exact, not approximate.
     lambda_epoch: Vec<u64>,
     lambda_cache: Vec<f64>,
+    /// Monotone id of the last candidate-pool build; versions the
+    /// `pool_pos` memo below.
+    pool_build_id: u64,
+    /// `pool_pos[j]` is client `j`'s index into `scratch_cands`, valid
+    /// iff `pool_epoch[j] == pool_build_id` — an O(1) handle that
+    /// replaces the linear pool scan when a holder must be re-scored.
+    pool_pos: Vec<u32>,
+    pool_epoch: Vec<u64>,
     // Scratch buffers reused across syncs so the hot path never
     // allocates: each holds the retained capacity of whatever client
     // vector it was last swapped with.
@@ -235,6 +278,15 @@ pub struct ClientEngine {
     /// `(lambda, mean_session_slots)` per pool entry, aligned with
     /// `scratch_cands` — the inputs needed to re-score an entry.
     scratch_meta: Vec<(f64, f64)>,
+    /// Per-build `(client, score-window start)` pairs from the gather
+    /// phase of the pool build, aligned with `scratch_cands`.
+    scratch_gather: Vec<(u32, SimTime)>,
+    /// Cancellation ids drained from the tracker at a sync, without
+    /// surrendering the tracker queue's allocation.
+    scratch_cancel: Vec<u64>,
+    /// One near-lane bucket's events, drained at a time by the batched
+    /// internal-event loop.
+    scratch_batch: Vec<(SimTime, EngineEvent)>,
     // Counters.
     /// External slot events seen; the engine has no slot vector of its
     /// own, so this is what `SimReport::slots` reports.
@@ -271,9 +323,56 @@ impl ClientEngine {
         days: u32,
         ctx: &ShardContext,
     ) -> Self {
+        Self::with_scratch(
+            config,
+            slots_by_user,
+            horizon,
+            days,
+            ctx,
+            EngineScratch::default(),
+        )
+    }
+
+    /// [`ClientEngine::new`], recycling the allocations of a previous
+    /// engine's [`EngineScratch`]. Behaviorally identical to building
+    /// from a fresh scratch set.
+    pub fn with_scratch(
+        config: SystemConfig,
+        slots_by_user: &UserSlots,
+        horizon: SimTime,
+        days: u32,
+        ctx: &ShardContext,
+        scratch: EngineScratch,
+    ) -> Self {
         if let Err(reason) = config.validate() {
             panic!("invalid SystemConfig: {reason}");
         }
+        let EngineScratch {
+            mut queue,
+            mut lambda_epoch,
+            mut lambda_cache,
+            mut pool_pos,
+            mut pool_epoch,
+            mut scratch_slot_times,
+            mut scratch_outbox,
+            mut scratch_reports,
+            mut scratch_cands,
+            mut scratch_meta,
+            mut scratch_due,
+            mut scratch_gather,
+            mut scratch_cancel,
+            mut scratch_batch,
+        } = scratch;
+        queue.reset();
+        scratch_slot_times.clear();
+        scratch_outbox.clear();
+        scratch_reports.clear();
+        scratch_cands.clear();
+        scratch_meta.clear();
+        scratch_due.clear();
+        scratch_gather.clear();
+        scratch_cancel.clear();
+        scratch_batch.clear();
         let num_users = slots_by_user.num_users();
         let mut clients = ClientTable::with_capacity(num_users);
         for u in 0..num_users {
@@ -306,7 +405,6 @@ impl ClientEngine {
         // client order, then the first expiry sweep, then the first
         // pacing tick. FIFO tie-breaking preserves this relative order
         // at equal timestamps.
-        let mut queue = EventQueue::with_capacity(clients.len() + 16);
         if config.mode == DeliveryMode::Prefetch {
             // Stagger first syncs evenly across the interval so the server
             // load (and replica delivery opportunities) spread out.
@@ -330,6 +428,7 @@ impl ClientEngine {
             );
         }
         let next_internal = queue.peek_time();
+        let batched = config.batched && Self::batching_is_exact(&config, exchange.has_pacers());
 
         let planner = config.planner.build();
         let fault_rng = StdRng::seed_from_u64(stream_seed ^ 0xd20_0ff);
@@ -342,17 +441,33 @@ impl ClientEngine {
             .then(|| NetworkModel::new(config.netem.clone(), n_clients, stream_seed));
         let obs = MetricRegistry::new();
         let mid = SimIds::resolve(&obs);
+        lambda_epoch.clear();
+        lambda_epoch.resize(n_clients, 0);
+        lambda_cache.clear();
+        lambda_cache.resize(n_clients, 0.0);
+        pool_pos.clear();
+        pool_pos.resize(n_clients, 0);
+        pool_epoch.clear();
+        pool_epoch.resize(n_clients, 0);
+        scratch_cands.reserve(candidate_pool);
+        scratch_meta.reserve(candidate_pool);
         Self {
             config,
             avail,
             sync_epoch: 0,
-            lambda_epoch: vec![0; n_clients],
-            lambda_cache: vec![0.0; n_clients],
-            scratch_slot_times: Vec::new(),
-            scratch_outbox: Vec::new(),
-            scratch_reports: Vec::new(),
-            scratch_cands: Vec::with_capacity(candidate_pool),
-            scratch_meta: Vec::with_capacity(candidate_pool),
+            lambda_epoch,
+            lambda_cache,
+            pool_build_id: 0,
+            pool_pos,
+            pool_epoch,
+            scratch_slot_times,
+            scratch_outbox,
+            scratch_reports,
+            scratch_cands,
+            scratch_meta,
+            scratch_gather,
+            scratch_cancel,
+            scratch_batch,
             clients,
             horizon,
             days,
@@ -362,13 +477,14 @@ impl ClientEngine {
             planner,
             queue,
             next_internal,
+            batched,
             cand_cursor: 0,
             fault_rng,
             syncs_dropped: 0,
             net,
             obs,
             mid,
-            scratch_due: Vec::new(),
+            scratch_due,
             slots_seen: 0,
             impressions: 0,
             cache_hits: 0,
@@ -378,6 +494,45 @@ impl ClientEngine {
             syncs_skipped: 0,
             replicas_assigned: 0,
         }
+    }
+
+    /// Whether draining internal events one near-lane bucket at a time
+    /// is *exactly* equivalent to popping them one at a time for this
+    /// configuration.
+    ///
+    /// A drained bucket's events all have times inside one
+    /// [`BUCKET_SPAN_MS`]-wide window, and internal handlers schedule
+    /// only strictly-future events at `now + delta`. If every `delta`
+    /// the configuration can produce is at least one bucket span, any
+    /// newly scheduled event lands at or past the bucket's end — i.e.
+    /// after every event of the batch being dispatched — and with a
+    /// larger sequence number than anything already queued, so the
+    /// batched dispatch order is bit-identical to the legacy pop order.
+    /// The deltas to check: the sync period (sync reschedule), the
+    /// pacing period (pacing reschedule), and the minimum jittered retry
+    /// backoff (netem; `base × (1 − jitter/2)`, truncated to ms exactly
+    /// like `NetworkModel::backoff`). The expiry sweep reschedules at a
+    /// fixed one hour, always safe. Default configurations sit far above
+    /// the 1.024 s span (2 h syncs, minutes-scale backoff bases);
+    /// anything faster silently falls back to the one-at-a-time drain.
+    fn batching_is_exact(config: &SystemConfig, has_pacers: bool) -> bool {
+        if config.mode == DeliveryMode::Prefetch {
+            if config.prefetch_interval.as_millis() < BUCKET_SPAN_MS {
+                return false;
+            }
+            let retry = &config.netem.retry;
+            if config.netem.enabled && retry.max_retries > 0 {
+                let min_backoff_ms =
+                    (retry.base.as_millis() as f64 * (1.0 - retry.jitter / 2.0)) as u64;
+                if min_backoff_ms < BUCKET_SPAN_MS {
+                    return false;
+                }
+            }
+        }
+        if has_pacers && config.marketplace.pacing_interval.as_millis() < BUCKET_SPAN_MS {
+            return false;
+        }
+        true
     }
 
     /// Number of clients this engine owns.
@@ -403,7 +558,18 @@ impl ClientEngine {
 
     /// Runs every internal event scheduled strictly before `t`. Call
     /// immediately before handing the engine an external slot at `t`.
+    ///
+    /// On the batched path this pulls a whole near-lane bucket of due
+    /// events out of the queue at once and dispatches them from a flat
+    /// buffer — one queue traversal and re-anchor per ~thousand events
+    /// instead of per event. [`ClientEngine::batching_is_exact`] is what
+    /// guarantees the dispatch order (and therefore every report bit)
+    /// matches the one-at-a-time pop loop.
     pub fn drain_internal_before(&mut self, t: SimTime) {
+        if self.batched {
+            self.drain_batched_before(t);
+            return;
+        }
         while self.next_internal.is_some_and(|nt| nt < t) {
             let (now, ev) = self.queue.pop().expect("next_internal was Some");
             self.dispatch(now, ev);
@@ -411,8 +577,34 @@ impl ClientEngine {
         }
     }
 
+    /// Batched drain loop: one head bucket per iteration. Handlers may
+    /// schedule new events mid-batch, but `batching_is_exact` guarantees
+    /// those land strictly past the bucket being dispatched, so the
+    /// drained buffer is never stale.
+    fn drain_batched_before(&mut self, t: SimTime) {
+        while self.next_internal.is_some_and(|nt| nt < t) {
+            let mut batch = std::mem::take(&mut self.scratch_batch);
+            let n = self.queue.drain_near_bucket(t, &mut batch);
+            debug_assert!(n > 0, "peek promised an event before {t:?}");
+            for &(now, ev) in &batch {
+                self.dispatch(now, ev);
+            }
+            batch.clear();
+            self.scratch_batch = batch;
+            self.next_internal = self.queue.peek_time();
+            if n == 0 {
+                break; // Defensive: never spin if the queue disagrees.
+            }
+        }
+    }
+
     /// Runs all remaining internal events (end of the external stream).
     pub fn drain_internal(&mut self) {
+        if self.batched {
+            self.drain_batched_before(SimTime::MAX);
+        }
+        // Unbatched path — and, under batching, any leftover events at
+        // exactly `SimTime::MAX` (excluded above by the strict bound).
         while let Some((now, ev)) = self.queue.pop() {
             self.dispatch(now, ev);
         }
@@ -751,9 +943,15 @@ impl ClientEngine {
         }
 
         // 5. The radio is waking up: apply queued cancellations, deliver
-        //    outstanding replicas, and ship the impression reports.
-        let cancellations = self.tracker.take_cancellations(c);
-        self.clients.cancel(ci, &cancellations);
+        //    outstanding replicas, and ship the impression reports. The
+        //    drain keeps both the tracker queue's and the scratch
+        //    buffer's allocations alive across syncs.
+        self.scratch_cancel.clear();
+        self.tracker
+            .drain_cancellations(c, &mut self.scratch_cancel);
+        if !self.scratch_cancel.is_empty() {
+            self.clients.cancel(ci, &self.scratch_cancel);
+        }
         std::mem::swap(&mut self.scratch_outbox, &mut self.clients.outbox[ci]);
         let mut delivered_replicas = 0u64;
         for i in 0..self.scratch_outbox.len() {
@@ -860,9 +1058,18 @@ impl ClientEngine {
     /// `scratch_cands` (planner input) and the aligned `scratch_meta`
     /// (the per-candidate rate inputs needed to re-score an entry when
     /// its queue depth changes mid-sync).
+    /// The build is split gather → rate → score over flat SoA buffers:
+    /// the cursor walk (branchy, touches `next_sync`), the predictor
+    /// rate queries (virtual calls), and the Poisson-tail scoring (pure
+    /// float math over `scratch_meta`) each run as their own tight loop
+    /// instead of one interleaved pass. Every per-candidate computation
+    /// is pure and memoized on its own inputs, so the phase split
+    /// produces bit-identical probabilities in the identical pool order.
     fn build_candidate_pool(&mut self, origin: usize, now: SimTime, deadline: SimTime) {
         self.scratch_cands.clear();
         self.scratch_meta.clear();
+        self.scratch_gather.clear();
+        self.pool_build_id += 1;
         self.obs.inc(self.mid.pool_builds, 1);
         let n = self.clients.len();
         if n <= 1 {
@@ -874,6 +1081,8 @@ impl ClientEngine {
         // of the ad's life, and only after the holder has received it at
         // a sync. Loop-invariant: hoisted out of the candidate scan.
         let window_open = deadline.saturating_sub(self.config.replica_window).max(now);
+        // Gather: advance the rotating cursor, keeping candidates that
+        // could receive the ad in time.
         while taken < want {
             self.cand_cursor = (self.cand_cursor + 1) % n;
             let j = self.cand_cursor;
@@ -886,17 +1095,28 @@ impl ClientEngine {
                 continue; // Cannot receive the ad in time; skip the
                           // rate evaluation entirely.
             }
-            let lambda_j = self.cached_rate(j, start, deadline);
-            let queued_j = self.clients.queued[j];
-            let mean_session_j = self.clients.predictor[j].mean_session_slots();
+            self.scratch_gather.push((j as u32, start));
+        }
+        // Rate: one (epoch-memoized) expected-rate query per candidate.
+        for idx in 0..self.scratch_gather.len() {
+            let (j, start) = self.scratch_gather[idx];
+            let lambda_j = self.cached_rate(j as usize, start, deadline);
+            let mean_session_j = self.clients.predictor[j as usize].mean_session_slots();
+            self.scratch_meta.push((lambda_j, mean_session_j));
+        }
+        // Score: Poisson-tail availability over the flat meta array,
+        // stamping each client's O(1) position handle as we go.
+        for idx in 0..self.scratch_gather.len() {
+            let (j, _) = self.scratch_gather[idx];
+            let (lambda_j, mean_session_j) = self.scratch_meta[idx];
+            let queued_j = self.clients.queued[j as usize];
             let prob = self
                 .avail
                 .display_probability_bursty(lambda_j, queued_j, mean_session_j);
-            self.scratch_cands.push(ClientAvailability {
-                client: j as u32,
-                prob,
-            });
-            self.scratch_meta.push((lambda_j, mean_session_j));
+            self.scratch_cands
+                .push(ClientAvailability { client: j, prob });
+            self.pool_pos[j as usize] = idx as u32;
+            self.pool_epoch[j as usize] = self.pool_build_id;
         }
         self.obs
             .inc(self.mid.pool_scored, self.scratch_cands.len() as u64);
@@ -906,17 +1126,24 @@ impl ClientEngine {
     /// (their `queued` just grew). The rate inputs come from
     /// `scratch_meta`; only the Poisson tail is re-evaluated, and the
     /// availability cache serves it from the already-memoized series.
+    /// Replica holders always come out of the current build's pool, so
+    /// the `pool_pos`/`pool_epoch` handle resolves each one in O(1) —
+    /// the linear `position` scan this replaces was the planner loop's
+    /// last per-holder pool traversal.
     fn refresh_pool_probs(&mut self, holders: &[u32]) {
         // holders[0] is the origin, which is never in the pool.
         for &h in holders.iter().skip(1) {
-            if let Some(pos) = self.scratch_cands.iter().position(|c| c.client == h) {
-                let (lambda, mean_session) = self.scratch_meta[pos];
-                let queued = self.clients.queued[h as usize];
-                self.scratch_cands[pos].prob =
-                    self.avail
-                        .display_probability_bursty(lambda, queued, mean_session);
-                self.obs.inc(self.mid.pool_rescored, 1);
+            if self.pool_epoch[h as usize] != self.pool_build_id {
+                continue;
             }
+            let pos = self.pool_pos[h as usize] as usize;
+            debug_assert_eq!(self.scratch_cands[pos].client, h);
+            let (lambda, mean_session) = self.scratch_meta[pos];
+            let queued = self.clients.queued[h as usize];
+            self.scratch_cands[pos].prob =
+                self.avail
+                    .display_probability_bursty(lambda, queued, mean_session);
+            self.obs.inc(self.mid.pool_rescored, 1);
         }
     }
 
@@ -1049,7 +1276,15 @@ impl ClientEngine {
     /// Settles all outstanding state and produces the run's report plus
     /// its metric registry. Call after the external stream ended and
     /// [`ClientEngine::drain_internal`] ran.
-    pub fn finalize(mut self) -> (SimReport, MetricRegistry) {
+    pub fn finalize(self) -> (SimReport, MetricRegistry) {
+        let (report, obs, _) = self.finalize_reclaim();
+        (report, obs)
+    }
+
+    /// [`ClientEngine::finalize`], additionally handing back the
+    /// engine's allocation set for reuse by the next engine on this
+    /// thread (see [`EngineScratch`]).
+    pub fn finalize_reclaim(mut self) -> (SimReport, MetricRegistry, EngineScratch) {
         // Flush reports that never made it to a final sync (trace ended
         // first); without this, genuinely displayed ads would be
         // misclassified as SLA violations.
@@ -1118,6 +1353,22 @@ impl ClientEngine {
             per_user_energy_j: per_user,
             ledger: self.ledger.totals(),
         };
-        (report, self.obs)
+        let scratch = EngineScratch {
+            queue: self.queue,
+            lambda_epoch: self.lambda_epoch,
+            lambda_cache: self.lambda_cache,
+            pool_pos: self.pool_pos,
+            pool_epoch: self.pool_epoch,
+            scratch_slot_times: self.scratch_slot_times,
+            scratch_outbox: self.scratch_outbox,
+            scratch_reports: self.scratch_reports,
+            scratch_cands: self.scratch_cands,
+            scratch_meta: self.scratch_meta,
+            scratch_due: self.scratch_due,
+            scratch_gather: self.scratch_gather,
+            scratch_cancel: self.scratch_cancel,
+            scratch_batch: self.scratch_batch,
+        };
+        (report, self.obs, scratch)
     }
 }

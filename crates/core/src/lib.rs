@@ -44,7 +44,7 @@ pub mod report;
 pub mod sim;
 
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
-pub use engine::{ClientEngine, EngineEvent, SlotFeed};
+pub use engine::{ClientEngine, EngineEvent, EngineScratch, SlotFeed};
 pub use report::{NetemCounters, SimReport};
 pub use sim::{
     default_shards, shard_configs, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS,

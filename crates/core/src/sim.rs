@@ -15,7 +15,7 @@ use adpf_obs::{MetricRegistry, ObsSink};
 use adpf_traces::{shard_ranges, AdSlot, Trace, UserSlots};
 
 use crate::config::SystemConfig;
-use crate::engine::{ClientEngine, SlotFeed};
+use crate::engine::{ClientEngine, EngineScratch, SlotFeed};
 use crate::report::SimReport;
 use adpf_desim::WorkQueue;
 
@@ -190,6 +190,18 @@ impl Simulator {
     ///
     /// Panics if `config.validate()` fails.
     pub fn with_context(config: SystemConfig, trace: &Trace, ctx: &ShardContext) -> Self {
+        Self::with_context_scratch(config, trace, ctx, EngineScratch::default())
+    }
+
+    /// [`Simulator::with_context`], recycling a previous engine's
+    /// allocation set (see [`EngineScratch`]). Behaviorally identical to
+    /// building from a fresh scratch set.
+    pub fn with_context_scratch(
+        config: SystemConfig,
+        trace: &Trace,
+        ctx: &ShardContext,
+        scratch: EngineScratch,
+    ) -> Self {
         if let Err(reason) = config.validate() {
             panic!("invalid SystemConfig: {reason}");
         }
@@ -200,7 +212,14 @@ impl Simulator {
         // same stream: one allocation for the population, not one per
         // user.
         let slots_by_user = UserSlots::from_slots(&slots, trace.num_users());
-        let engine = ClientEngine::new(config, &slots_by_user, trace.horizon(), trace.days(), ctx);
+        let engine = ClientEngine::with_scratch(
+            config,
+            &slots_by_user,
+            trace.horizon(),
+            trace.days(),
+            ctx,
+            scratch,
+        );
         Self { engine, slots }
     }
 
@@ -216,9 +235,17 @@ impl Simulator {
     /// report as `run` — observability can be exported or dropped, never
     /// felt.
     pub fn run_observed(self) -> (SimReport, MetricRegistry) {
+        let (report, reg, _) = self.run_observed_reclaim();
+        (report, reg)
+    }
+
+    /// [`Simulator::run_observed`], additionally handing back the
+    /// engine's allocation set so the worker can reuse it for its next
+    /// shard.
+    pub fn run_observed_reclaim(self) -> (SimReport, MetricRegistry, EngineScratch) {
         let Simulator { mut engine, slots } = self;
         engine.drive(&mut SlotFeed::new(&slots));
-        engine.finalize()
+        engine.finalize_reclaim()
     }
 
     /// Runs `config` over `trace` as [`default_shards`]`(users)`
@@ -395,6 +422,11 @@ impl Simulator {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
+                    // One scratch set per worker, threaded through every
+                    // shard this worker simulates: the queue ring and
+                    // engine scratch vectors are allocated once per
+                    // thread instead of once per shard.
+                    let mut scratch = EngineScratch::default();
                     while let Some(i) = queue.claim() {
                         shard_hook(i);
                         // Streaming: materialize only this shard's user
@@ -419,7 +451,12 @@ impl Simulator {
                         // mode; they are Time metrics, which never feed
                         // report hashes or determinism checks.
                         let setup_start = observed.then(std::time::Instant::now);
-                        let sim = Simulator::with_context(configs[i].clone(), shard_trace, &ctx);
+                        let sim = Simulator::with_context_scratch(
+                            configs[i].clone(),
+                            shard_trace,
+                            &ctx,
+                            std::mem::take(&mut scratch),
+                        );
                         if let Some(ns) = gen_ns.filter(|_| generated.is_some()) {
                             sim.engine.obs.add_time_ns("phase.trace_gen", ns);
                         }
@@ -429,7 +466,8 @@ impl Simulator {
                                 .add_time_ns("phase.shard_setup", t0.elapsed().as_nanos() as u64);
                         }
                         let loop_start = observed.then(std::time::Instant::now);
-                        let (report, reg) = sim.run_observed();
+                        let (report, reg, reclaimed) = sim.run_observed_reclaim();
+                        scratch = reclaimed;
                         if let Some(t0) = loop_start {
                             reg.add_time_ns("phase.event_loop", t0.elapsed().as_nanos() as u64);
                         }

@@ -44,7 +44,7 @@ pub mod time;
 
 pub use engine::{Actor, EventKind, Scheduler, Simulation};
 pub use feed::EventFeed;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, BUCKET_SPAN_MS};
 pub use smallvec::InlineVec;
 pub use steal::WorkQueue;
 pub use time::{SimDuration, SimTime};

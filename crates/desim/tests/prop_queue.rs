@@ -97,6 +97,87 @@ proptest! {
         }
     }
 
+    /// Draining bucket-by-bucket through `drain_near_bucket` yields
+    /// exactly the `(time, payload)` sequence repeated `pop` would, for
+    /// any horizon — the equivalence the batched engine hot path rests
+    /// on — and leaves the queue in an identical state afterwards.
+    #[test]
+    fn drain_near_bucket_matches_repeated_pop(
+        ops in prop::collection::vec((0u8..5, any::<u64>()), 1..250),
+        horizon_ms in 1u64..10_000_000,
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: EventQueue<u64> = EventQueue::new();
+        let mut last_time = 0u64;
+        for (i, (kind, v)) in ops.into_iter().enumerate() {
+            let t = op_time(kind, v, last_time);
+            last_time = t;
+            q.push(SimTime::from_millis(t), i as u64);
+            r.push(SimTime::from_millis(t), i as u64);
+        }
+        let upto = SimTime::from_millis(horizon_ms);
+        let mut batched = Vec::new();
+        let mut buf = Vec::new();
+        while q.peek_time().is_some_and(|t| t < upto) {
+            buf.clear();
+            let n = q.drain_near_bucket(upto, &mut buf);
+            prop_assert!(n > 0, "peek promised an event below the horizon");
+            prop_assert_eq!(n, buf.len());
+            batched.extend(buf.iter().copied());
+        }
+        let mut popped = Vec::new();
+        while r.peek_time().is_some_and(|t| t < upto) {
+            popped.push(r.pop().expect("peek promised an event"));
+        }
+        prop_assert_eq!(batched, popped);
+        // Whatever remains at or past the horizon also agrees, in order.
+        loop {
+            let a = q.pop();
+            prop_assert_eq!(a, r.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Interleaving strictly-future pushes between bucket drains — the
+    /// engine contract (handlers only schedule at least a full bucket
+    /// ahead) — still matches pop-by-pop dispatch exactly.
+    #[test]
+    fn drain_with_future_pushes_matches_pop(
+        times in prop::collection::vec(0u64..2_000_000, 1..120),
+        extra in prop::collection::vec(1100u64..500_000, 0..60),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: EventQueue<u64> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i as u64);
+            r.push(SimTime::from_millis(t), i as u64);
+        }
+        let mut payload = times.len() as u64;
+        let mut extra = extra.into_iter();
+        let mut batched = Vec::new();
+        let mut buf = Vec::new();
+        while q.peek_time().is_some() {
+            buf.clear();
+            q.drain_near_bucket(SimTime::MAX, &mut buf);
+            for &(t, p) in &buf {
+                batched.push((t, p));
+                // A "handler" scheduling >= one bucket span ahead.
+                if let Some(d) = extra.next() {
+                    q.push(SimTime::from_millis(t.as_millis() + d), payload);
+                    r.push(SimTime::from_millis(t.as_millis() + d), payload);
+                    payload += 1;
+                }
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((t, p)) = r.pop() {
+            popped.push((t, p));
+        }
+        prop_assert_eq!(batched, popped);
+    }
+
     /// Bulk pushes then a full drain pop in exactly `(time, seq)` order.
     #[test]
     fn full_drain_is_sorted_by_time_then_seq(

@@ -11,8 +11,10 @@
 //! ```
 //!
 //! `label` is omitted when empty. Histogram `buckets` are
-//! `[bucket_index, count]` pairs for non-empty buckets only; bucket
-//! `b > 0` covers values in `[2^(b-1), 2^b)` and bucket 0 holds zeros.
+//! `[bucket_index, count]` pairs for non-empty buckets only, in the
+//! log-linear layout of [`crate::hist::Histogram::bucket_index`]
+//! (bucket 0 holds zeros, values below 8 index themselves, then 4
+//! linear sub-buckets per power-of-two octave).
 //! Lines are sorted by `(name, kind)`, so a given registry always
 //! exports byte-identically.
 
@@ -174,7 +176,9 @@ mod tests {
         assert_eq!(validate_json_lines(&text), Ok(4));
         assert!(text.starts_with("{\"label\":\"unit\",\"name\":\"a.peak\""));
         assert!(text.contains("\"name\":\"m.hist\",\"kind\":\"histogram\",\"count\":2"));
-        assert!(text.contains("\"buckets\":[[0,1],[9,1]]"));
+        // 300 sits in the first quarter of the [256, 512) octave:
+        // bucket 8 + 5*4 = 28.
+        assert!(text.contains("\"buckets\":[[0,1],[28,1]]"));
         // Empty label omits the key entirely.
         let unlabeled = to_json_lines(&reg, "");
         assert!(!unlabeled.contains("label"));

@@ -1,16 +1,22 @@
-//! Fixed log₂-bucket histogram.
+//! Fixed log-linear-bucket histogram.
 //!
-//! Bucket `0` holds the value zero; bucket `b > 0` holds values whose
-//! bit length is `b`, i.e. the half-open range `[2^(b-1), 2^b)`. The
-//! bucket array is a fixed `[u64; 65]`, so recording is branch-free
-//! (a `leading_zeros` and an indexed add) and merging is a bucket-wise
-//! integer sum — exactly associative and commutative, which is what the
+//! Bucket `0` holds the value zero and buckets `1..=7` hold their own
+//! value exactly; from 8 up, each power-of-two octave `[2^(b-1), 2^b)`
+//! is split into 4 linear steps of width `2^(b-3)` (the two bits after
+//! the leading one select the step). Quantile upper bounds are
+//! therefore within 25% of the true sample value instead of within a
+//! full power of two — enough resolution for latency percentiles to be
+//! meaningful near saturation. The bucket array is a fixed
+//! `[u64; 252]`, so recording is branch-light (a `leading_zeros`, two
+//! shifts and an indexed add) and merging is a bucket-wise integer
+//! sum — exactly associative and commutative, which is what the
 //! registry's determinism guarantee rests on.
 
-/// One bucket for zero plus one per possible bit length of a `u64`.
-pub const NUM_BUCKETS: usize = 65;
+/// One bucket for zero, seven exact buckets for `1..=7`, then 4 linear
+/// sub-buckets per octave for bit lengths `4..=64`: `8 + 61 * 4 = 252`.
+pub const NUM_BUCKETS: usize = 252;
 
-/// Fixed-size log-scale histogram over `u64` samples.
+/// Fixed-size log-linear histogram over `u64` samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
@@ -37,18 +43,32 @@ impl Histogram {
         Self::default()
     }
 
-    /// Bucket index for a sample: 0 for 0, otherwise the bit length.
+    /// Bucket index for a sample: values below 8 index themselves;
+    /// otherwise 4 sub-buckets per bit length, selected by the two bits
+    /// after the leading one.
     #[inline]
     pub fn bucket_index(value: u64) -> usize {
-        (64 - value.leading_zeros()) as usize
+        if value < 8 {
+            value as usize
+        } else {
+            let b = (64 - value.leading_zeros()) as usize; // bit length, >= 4
+            let sub = ((value >> (b - 3)) & 3) as usize;
+            8 + (b - 4) * 4 + sub
+        }
     }
 
     /// Inclusive upper bound of the values a bucket can hold.
     pub fn bucket_upper_bound(index: usize) -> u64 {
-        match index {
-            0 => 0,
-            64 => u64::MAX,
-            b => (1u64 << b) - 1,
+        if index < 8 {
+            index as u64
+        } else {
+            let b = 4 + (index - 8) / 4;
+            let sub = ((index - 8) % 4) as u64;
+            // For the very last bucket (b = 64, sub = 3) the exact bound
+            // is 2^64 - 1; the wrapping ops land on u64::MAX.
+            (1u64 << (b - 1))
+                .wrapping_add((sub + 1) << (b - 3))
+                .wrapping_sub(1)
         }
     }
 
@@ -110,8 +130,8 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket containing the q-quantile sample
-    /// (`q` in `[0, 1]`). A log-bucket approximation: exact to within
-    /// one power of two.
+    /// (`q` in `[0, 1]`). A log-linear approximation: exact below 8 and
+    /// within 25% of the true sample value above.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -142,25 +162,83 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_is_bit_length() {
-        assert_eq!(Histogram::bucket_index(0), 0);
-        assert_eq!(Histogram::bucket_index(1), 1);
-        assert_eq!(Histogram::bucket_index(2), 2);
-        assert_eq!(Histogram::bucket_index(3), 2);
-        assert_eq!(Histogram::bucket_index(4), 3);
-        assert_eq!(Histogram::bucket_index(255), 8);
-        assert_eq!(Histogram::bucket_index(256), 9);
-        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    fn bucket_index_exact_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_splits_octaves_in_four() {
+        // Octave [8, 16): width-2 steps.
+        assert_eq!(Histogram::bucket_index(8), 8);
+        assert_eq!(Histogram::bucket_index(9), 8);
+        assert_eq!(Histogram::bucket_index(10), 9);
+        assert_eq!(Histogram::bucket_index(14), 11);
+        assert_eq!(Histogram::bucket_index(15), 11);
+        // Octave [256, 512): width-64 steps.
+        assert_eq!(Histogram::bucket_index(256), 8 + 5 * 4);
+        assert_eq!(Histogram::bucket_index(319), 8 + 5 * 4);
+        assert_eq!(Histogram::bucket_index(320), 8 + 5 * 4 + 1);
+        assert_eq!(Histogram::bucket_index(511), 8 + 5 * 4 + 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
     }
 
     #[test]
     fn bucket_bounds_bracket_their_values() {
-        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            7,
+            8,
+            9,
+            10,
+            15,
+            16,
+            100,
+            1023,
+            1024,
+            32_767,
+            1 << 62,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
             let b = Histogram::bucket_index(v);
-            assert!(v <= Histogram::bucket_upper_bound(b));
+            assert!(b < NUM_BUCKETS);
+            assert!(v <= Histogram::bucket_upper_bound(b), "v={v} b={b}");
             if b > 0 {
-                assert!(v > Histogram::bucket_upper_bound(b - 1));
+                assert!(v > Histogram::bucket_upper_bound(b - 1), "v={v} b={b}");
             }
+        }
+    }
+
+    #[test]
+    fn bounds_are_strictly_monotone() {
+        for i in 1..NUM_BUCKETS {
+            assert!(
+                Histogram::bucket_upper_bound(i) > Histogram::bucket_upper_bound(i - 1),
+                "bucket {i}"
+            );
+        }
+        assert_eq!(Histogram::bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_within_a_quarter() {
+        // The defining property of the 4-steps-per-octave layout: the
+        // bucket upper bound never overstates a sample by more than 25%.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for x in [v, v + v / 3, v + v / 2] {
+                let bound = Histogram::bucket_upper_bound(Histogram::bucket_index(x));
+                assert!(bound >= x);
+                assert!(bound - x <= x / 4 + 1, "x={x} bound={bound}");
+            }
+            v = v.wrapping_mul(3) + 1;
         }
     }
 
@@ -213,11 +291,24 @@ mod tests {
     fn quantiles_land_in_the_right_bucket() {
         let mut h = Histogram::new();
         for _ in 0..99 {
-            h.record(10); // bucket 4, bound 15
+            h.record(10); // bucket [10, 11], bound 11
         }
         h.record(1_000_000);
-        assert_eq!(h.quantile_upper_bound(0.5), 15);
-        assert_eq!(h.quantile_upper_bound(0.99), 15);
+        assert_eq!(h.quantile_upper_bound(0.5), 11);
+        assert_eq!(h.quantile_upper_bound(0.99), 11);
         assert_eq!(h.quantile_upper_bound(1.0), 1_000_000); // capped at max
+    }
+
+    #[test]
+    fn saturation_median_resolves_below_a_power_of_two() {
+        // The regression this layout fixes: a pile of ~20k-us latencies
+        // used to report p50 = 32767 (the whole [16384, 32768) octave).
+        let mut h = Histogram::new();
+        for v in [20_000u64, 21_000, 22_000, 23_000] {
+            h.record_n(v, 25);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        assert!(p50 < 24_576, "p50={p50} should resolve sub-octave");
+        assert!(p50 >= 21_000);
     }
 }

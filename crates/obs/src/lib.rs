@@ -3,7 +3,7 @@
 //! Three layers, smallest possible surface:
 //!
 //! - [`MetricRegistry`]: counters, high-water gauges, and fixed
-//!   log₂-bucket [`Histogram`]s behind pre-resolved [`MetricId`]s, so the
+//!   log-linear-bucket [`Histogram`]s behind pre-resolved [`MetricId`]s, so the
 //!   hot path is an array index and an integer add — no allocation, no
 //!   string hashing, no floating point. All metric state is integral,
 //!   which makes [`MetricRegistry::merge`] exactly associative and

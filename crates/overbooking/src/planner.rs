@@ -9,9 +9,6 @@ use adpf_desim::InlineVec;
 /// are allocation-free on the hot path and spill gracefully otherwise.
 pub const PLAN_INLINE: usize = 8;
 
-/// Inline capacity for sorted candidate scratch inside planners.
-const CANDIDATE_INLINE: usize = 64;
-
 /// A chosen replica set for one pre-sold ad.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -59,28 +56,44 @@ impl Plan {
     }
 }
 
-/// Positive-probability candidates sorted by decreasing availability,
-/// ties broken by ascending client id.
+/// `true` when `a` precedes `b` in selection order: decreasing
+/// availability, ties broken by ascending client id. Client ids are unique
+/// within a candidate pool, so the order is total over finite
+/// probabilities.
+#[inline]
+fn precedes(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// The best positive-probability candidate strictly after `prev` in
+/// selection order, or `None` when the pool is exhausted.
 ///
-/// Uses `sort_unstable_by` (no allocation, unlike the stable sort's merge
-/// buffer): the comparator is total over candidate sets — client ids are
-/// unique — so the unstable sort yields the same order a stable sort
-/// would, preserving planner determinism.
-fn sorted_by_availability(
+/// Planners take at most `max_replicas` holders (single digits) from pools
+/// of at most `candidate_pool` entries, so repeated `O(n)` partial
+/// selection replaces the full sort the hot path used to pay per sold ad —
+/// and, because the order is total, picks exactly the same clients in
+/// exactly the same sequence.
+#[inline]
+fn next_in_order(
     candidates: &[ClientAvailability],
-) -> InlineVec<ClientAvailability, CANDIDATE_INLINE> {
-    let mut sorted: InlineVec<ClientAvailability, CANDIDATE_INLINE> = candidates
-        .iter()
-        .filter(|c| c.prob > 0.0)
-        .copied()
-        .collect();
-    sorted.sort_unstable_by(|a, b| {
-        b.prob
-            .partial_cmp(&a.prob)
-            .expect("probabilities are finite")
-            .then(a.client.cmp(&b.client))
-    });
-    sorted
+    prev: Option<(f64, u32)>,
+) -> Option<(f64, u32)> {
+    let mut best: Option<(f64, u32)> = None;
+    for c in candidates {
+        if c.prob <= 0.0 {
+            continue;
+        }
+        let key = (c.prob, c.client);
+        if let Some(p) = prev {
+            if !precedes(p, key) {
+                continue;
+            }
+        }
+        if best.is_none_or(|b| precedes(key, b)) {
+            best = Some(key);
+        }
+    }
+    best
 }
 
 /// A policy that picks replica holders for one ad.
@@ -115,18 +128,19 @@ impl ReplicationPlanner for GreedyPlanner {
         max_replicas: usize,
     ) -> Plan {
         let target = sla_target.clamp(0.0, 1.0);
-        let sorted = sorted_by_availability(candidates);
         let mut chosen: InlineVec<(u32, f64), PLAN_INLINE> = InlineVec::new();
         let mut violation = 1.0;
-        for c in &sorted {
-            if chosen.len() >= max_replicas {
-                break;
-            }
+        let mut prev = None;
+        while chosen.len() < max_replicas {
             if !chosen.is_empty() && 1.0 - violation >= target {
                 break;
             }
-            chosen.push((c.client, c.prob));
-            violation *= 1.0 - c.prob;
+            let Some((prob, client)) = next_in_order(candidates, prev) else {
+                break;
+            };
+            chosen.push((client, prob));
+            violation *= 1.0 - prob;
+            prev = Some((prob, client));
         }
         Plan::from_choice(&chosen)
     }
@@ -151,13 +165,16 @@ impl ReplicationPlanner for FixedFactorPlanner {
         _sla_target: f64,
         max_replicas: usize,
     ) -> Plan {
-        let sorted = sorted_by_availability(candidates);
         let take = self.k.min(max_replicas);
-        let chosen: InlineVec<(u32, f64), PLAN_INLINE> = sorted
-            .iter()
-            .take(take)
-            .map(|c| (c.client, c.prob))
-            .collect();
+        let mut chosen: InlineVec<(u32, f64), PLAN_INLINE> = InlineVec::new();
+        let mut prev = None;
+        while chosen.len() < take {
+            let Some((prob, client)) = next_in_order(candidates, prev) else {
+                break;
+            };
+            chosen.push((client, prob));
+            prev = Some((prob, client));
+        }
         Plan::from_choice(&chosen)
     }
 
@@ -295,6 +312,36 @@ mod tests {
         let b = GreedyPlanner.plan(&c, 0.74, 10);
         assert_eq!(a, b);
         assert_eq!(a.clients, vec![0, 1]);
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // Pseudo-random pool with repeated probabilities to exercise the
+        // client-id tie-break; the successive-maxima selection must visit
+        // candidates in exactly the order a full sort would.
+        let mut probs = Vec::new();
+        let mut x: u64 = 0x9e37_79b9;
+        for _ in 0..40 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            probs.push(((x >> 33) % 8) as f64 / 8.0); // includes 0.0 and ties
+        }
+        let c = cands(&probs);
+        let mut sorted: Vec<_> = c.iter().filter(|a| a.prob > 0.0).copied().collect();
+        sorted.sort_by(|a, b| {
+            b.prob
+                .partial_cmp(&a.prob)
+                .unwrap()
+                .then(a.client.cmp(&b.client))
+        });
+        let mut prev = None;
+        for want in &sorted {
+            let got = next_in_order(&c, prev).expect("pool not exhausted");
+            assert_eq!(got, (want.prob, want.client));
+            prev = Some(got);
+        }
+        assert_eq!(next_in_order(&c, prev), None);
     }
 
     #[test]

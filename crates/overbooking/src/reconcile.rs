@@ -6,9 +6,16 @@
 //! holder that syncs before showing the ad drops it; only holders that show
 //! the ad inside the sync delay produce a real duplicate. The end-to-end
 //! simulator measures exactly that residual.
+//!
+//! The tracker stores its state in arenas rather than hash maps. Ad ids are
+//! handed out by a monotone counter and ads expire in rough deadline order,
+//! so live ads occupy a sliding window of the id space: a `VecDeque` of
+//! slots indexed by `ad - base` resolves every lookup with one subtraction
+//! instead of a hash, and the window front advances as old ads are removed.
+//! Cancellation queues are likewise a dense per-client `Vec` indexed by the
+//! simulator's `u32` client handles.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use crate::planner::PLAN_INLINE;
 use adpf_desim::{InlineVec, SimTime};
@@ -70,8 +77,16 @@ pub struct TrackerStats {
 /// cancellations after the first display.
 #[derive(Debug, Default)]
 pub struct ReplicaTracker {
-    ads: HashMap<u64, AdReplicas>,
-    pending_cancel: HashMap<u32, Vec<u64>>,
+    /// Sliding arena over the ad-id space: index `i` holds ad
+    /// `base + i`. Vacant slots are ids that were never registered
+    /// (realtime sales consume ids too) or already removed.
+    slots: VecDeque<Option<AdReplicas>>,
+    /// Ad id of `slots[0]`.
+    base: u64,
+    /// Number of occupied slots.
+    live: usize,
+    /// Queued cancellation hints, indexed by dense client id.
+    pending_cancel: Vec<Vec<u64>>,
     stats: TrackerStats,
 }
 
@@ -81,24 +96,44 @@ impl ReplicaTracker {
         Self::default()
     }
 
+    fn slot(&self, ad: u64) -> Option<&AdReplicas> {
+        let i = ad.checked_sub(self.base)?;
+        self.slots.get(i as usize)?.as_ref()
+    }
+
     /// Registers an ad replicated across `holders`, due by `deadline`.
+    ///
+    /// The engine registers ads in increasing id order, so this normally
+    /// extends the window tail; ids behind the window front are still
+    /// accepted (the window slides back) so the API stays total.
     pub fn register(&mut self, ad: u64, holders: &[u32], deadline: SimTime) {
-        match self.ads.entry(ad) {
-            Entry::Vacant(v) => {
-                v.insert(AdReplicas {
-                    holders: InlineVec::from_slice(holders),
-                    displayed_by: None,
-                    deadline,
-                    rescued: false,
-                });
-                self.stats.ads_registered += 1;
-                self.stats.replicas_registered += (holders.len() as u64).saturating_sub(1);
-                self.stats.peak_tracked = self.stats.peak_tracked.max(self.ads.len() as u64);
+        if self.slots.is_empty() {
+            self.base = ad;
+        } else if ad < self.base {
+            for _ in ad..self.base {
+                self.slots.push_front(None);
             }
-            Entry::Occupied(_) => {
-                debug_assert!(false, "ad {ad} registered twice");
-            }
+            self.base = ad;
         }
+        let i = (ad - self.base) as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.slots[i];
+        if slot.is_some() {
+            debug_assert!(false, "ad {ad} registered twice");
+            return;
+        }
+        *slot = Some(AdReplicas {
+            holders: InlineVec::from_slice(holders),
+            displayed_by: None,
+            deadline,
+            rescued: false,
+        });
+        self.live += 1;
+        self.stats.ads_registered += 1;
+        self.stats.replicas_registered += (holders.len() as u64).saturating_sub(1);
+        self.stats.peak_tracked = self.stats.peak_tracked.max(self.live as u64);
     }
 
     /// Adds `client` as an extra (rescue) replica holder for `ad`.
@@ -107,7 +142,11 @@ impl ReplicaTracker {
     /// already displayed, already rescued once, or `client` already holds
     /// it. A successful rescue marks the ad so later scans skip it.
     pub fn rescue_to(&mut self, ad: u64, client: u32) -> bool {
-        let Some(entry) = self.ads.get_mut(&ad) else {
+        let entry = ad
+            .checked_sub(self.base)
+            .and_then(|i| self.slots.get_mut(i as usize))
+            .and_then(Option::as_mut);
+        let Some(entry) = entry else {
             self.stats.rescues_refused += 1;
             return false;
         };
@@ -127,12 +166,13 @@ impl ReplicaTracker {
     /// Collects `(ad, deadline)` for every tracked ad that is still
     /// undisplayed, has not been rescued, and is due before `t`.
     ///
-    /// Appends to `out` in hash-map order — callers that need determinism
-    /// must sort the result.
+    /// Appends to `out` in ascending ad-id order.
     pub fn undisplayed_due_before(&self, t: SimTime, out: &mut Vec<(u64, SimTime)>) {
-        for (&ad, e) in &self.ads {
-            if e.displayed_by.is_none() && !e.rescued && e.deadline < t {
-                out.push((ad, e.deadline));
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(e) = slot {
+                if e.displayed_by.is_none() && !e.rescued && e.deadline < t {
+                    out.push((self.base + i as u64, e.deadline));
+                }
             }
         }
     }
@@ -140,7 +180,11 @@ impl ReplicaTracker {
     /// Records that `client` displayed `ad`; on the first display, queues
     /// cancellations for every other holder.
     pub fn record_display(&mut self, ad: u64, client: u32) -> DisplayDisposition {
-        let Some(entry) = self.ads.get_mut(&ad) else {
+        let entry = ad
+            .checked_sub(self.base)
+            .and_then(|i| self.slots.get_mut(i as usize))
+            .and_then(Option::as_mut);
+        let Some(entry) = entry else {
             self.stats.unknown_displays += 1;
             return DisplayDisposition::Unknown;
         };
@@ -149,7 +193,11 @@ impl ReplicaTracker {
                 entry.displayed_by = Some(client);
                 for &h in &entry.holders {
                     if h != client {
-                        self.pending_cancel.entry(h).or_default().push(ad);
+                        let hi = h as usize;
+                        if hi >= self.pending_cancel.len() {
+                            self.pending_cancel.resize_with(hi + 1, Vec::new);
+                        }
+                        self.pending_cancel[hi].push(ad);
                         self.stats.cancellations_queued += 1;
                     }
                 }
@@ -166,14 +214,41 @@ impl ReplicaTracker {
     /// Takes (and clears) the cancellation list for `client` — called when
     /// the client syncs.
     pub fn take_cancellations(&mut self, client: u32) -> Vec<u64> {
-        self.pending_cancel.remove(&client).unwrap_or_default()
+        self.pending_cancel
+            .get_mut(client as usize)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Appends `client`'s queued cancellations to `out` and clears the
+    /// queue in place, keeping its allocation for reuse — the zero-churn
+    /// form of [`take_cancellations`](Self::take_cancellations) for hot
+    /// sync loops.
+    pub fn drain_cancellations(&mut self, client: u32, out: &mut Vec<u64>) {
+        if let Some(q) = self.pending_cancel.get_mut(client as usize) {
+            out.extend_from_slice(q);
+            q.clear();
+        }
     }
 
     /// Stops tracking an ad (its deadline passed); outstanding queued
     /// cancellations remain valid hints for holders.
     pub fn remove(&mut self, ad: u64) {
-        if self.ads.remove(&ad).is_some() {
+        let slot = ad
+            .checked_sub(self.base)
+            .and_then(|i| self.slots.get_mut(i as usize));
+        let Some(slot) = slot else { return };
+        if slot.take().is_some() {
+            self.live -= 1;
             self.stats.ads_removed += 1;
+            // Keep the window tight: trim vacant slots from both ends.
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+            while matches!(self.slots.back(), Some(None)) {
+                self.slots.pop_back();
+            }
         }
     }
 
@@ -199,25 +274,24 @@ impl ReplicaTracker {
 
     /// Clients holding replicas of `ad`, if tracked.
     pub fn holders(&self, ad: u64) -> Option<&[u32]> {
-        self.ads.get(&ad).map(|e| e.holders.as_slice())
+        self.slot(ad).map(|e| e.holders.as_slice())
     }
 
     /// Whether the ad has been displayed at least once.
     pub fn is_displayed(&self, ad: u64) -> bool {
-        self.ads
-            .get(&ad)
+        self.slot(ad)
             .map(|e| e.displayed_by.is_some())
             .unwrap_or(false)
     }
 
     /// Number of tracked ads.
     pub fn len(&self) -> usize {
-        self.ads.len()
+        self.live
     }
 
     /// Returns `true` when no ads are tracked.
     pub fn is_empty(&self) -> bool {
-        self.ads.is_empty()
+        self.live == 0
     }
 }
 
@@ -268,6 +342,22 @@ mod tests {
         let mut c = t.take_cancellations(1);
         c.sort_unstable();
         assert_eq!(c, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_cancellations_clears_but_keeps_capacity() {
+        let mut t = ReplicaTracker::new();
+        t.register(1, &[1, 2], SimTime::from_hours(1));
+        t.record_display(1, 2);
+        let mut out = Vec::new();
+        t.drain_cancellations(1, &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        t.drain_cancellations(1, &mut out);
+        assert!(out.is_empty(), "drain consumes the queue");
+        // A client the tracker has never seen drains nothing.
+        t.drain_cancellations(999, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -360,5 +450,41 @@ mod tests {
         assert_eq!(t.len(), 2);
         t.remove(1);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arena_window_slides_over_gapped_monotone_ids() {
+        // Realtime sales consume ids without registering them, so the
+        // registered id stream is monotone with gaps; removal in id order
+        // must advance the window front past the holes.
+        let mut t = ReplicaTracker::new();
+        for ad in [10u64, 13, 14, 20] {
+            t.register(ad, &[1], SimTime::from_hours(1));
+        }
+        assert_eq!(t.len(), 4);
+        t.remove(10);
+        t.remove(13);
+        assert_eq!(t.len(), 2);
+        assert!(t.holders(14).is_some());
+        assert!(t.holders(20).is_some());
+        assert!(t.holders(10).is_none());
+        // Interior removal leaves the window addressing later ads.
+        t.remove(14);
+        assert!(t.holders(20).is_some());
+        t.remove(20);
+        assert!(t.is_empty());
+        // The arena keeps working after draining completely.
+        t.register(31, &[2], SimTime::from_hours(2));
+        assert_eq!(t.holders(31), Some(&[2][..]));
+    }
+
+    #[test]
+    fn register_behind_window_front_still_lands() {
+        let mut t = ReplicaTracker::new();
+        t.register(50, &[1], SimTime::from_hours(1));
+        t.register(40, &[2], SimTime::from_hours(1));
+        assert_eq!(t.holders(40), Some(&[2][..]));
+        assert_eq!(t.holders(50), Some(&[1][..]));
+        assert_eq!(t.len(), 2);
     }
 }

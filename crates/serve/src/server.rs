@@ -56,7 +56,8 @@ use adpf_traces::{shard_ranges, AppId, UserId, UserSlots};
 use crate::protocol::{IngestError, Parsed, Parser, StreamHeader};
 
 /// Name of the enqueue-to-decision latency histogram (microseconds,
-/// log2 buckets) recorded for every served request.
+/// log-linear buckets, 4 steps per octave) recorded for every served
+/// request.
 pub const DECISION_LATENCY_METRIC: &str = "serve.decision_latency_us";
 
 /// How a [`serve`] run is configured.
