@@ -28,6 +28,12 @@
 # re-materializes the full trace before sharding. Skips with exit 0 on
 # hosts without a readable /proc.
 #
+# The scenario gate (`--scenario-check`) guards the scenario layer's two
+# contracts: scenario-off runs must keep reproducing the committed smoke
+# golden at 1/2/8 threads (the layer pays nothing when off), and a quick
+# mixed-population run must hash identically across thread counts and
+# through the streaming pipeline with its user-cost counters populated.
+#
 # The serving gate replays the smoke trace's event stream over stdin into
 # the online `serve` binary: the final report hash must equal the same
 # committed golden (the server is the batch engine behind a socket), and
@@ -79,6 +85,15 @@ perf_obs() {
     test "$(head -n 1 target/obs_check.out)" = "$SMOKE_GOLDEN"
 }
 
+perf_scenario() {
+    # --scenario-check prints the scenario-off smoke hash as its first
+    # line, in --smoke format, so the off path is held to the golden.
+    ./target/release/baseline --scenario-check > target/scenario_check.out
+    cat target/scenario_check.out
+    test "$(head -n 1 target/scenario_check.out)" = "$SMOKE_GOLDEN"
+    grep -q '^scenario-check: mixed hash' target/scenario_check.out
+}
+
 perf_serve() {
     # Closed loop over stdin: generate the smoke event stream, serve it,
     # and hold the served report to the shared golden. The latency line
@@ -111,6 +126,7 @@ if [ "${1:-}" = "quick" ]; then
     perf_scaling
     perf_check
     perf_mem
+    perf_scenario
     perf_serve
     marketplace_gates
     exit 0
@@ -126,4 +142,5 @@ perf_obs
 perf_scaling
 perf_check
 perf_mem
+perf_scenario
 perf_serve

@@ -7,7 +7,10 @@
 //! baseline --label post --threads-list 1,2,4,8
 //! baseline --label scale --workload scale-100k --stream --threads-list 1
 //! baseline --label serving --workload serve --threads-list 2  # adds requests/s + latency columns
+//! baseline --label paced --workload serve-paced --threads-list 2  # sub-saturation serve row
+//! baseline --label scale --workload scale-100k-mixed --stream --threads-list 2
 //! baseline --smoke                        # CI gate: print the smoke report hash
+//! baseline --scenario-check               # CI gate: scenario-off golden + mixed determinism
 //! baseline --scaling-check                # CI gate: 4 threads must beat 1 thread
 //! baseline --obs-check --metrics-out m.jsonl  # CI gate: metrics change nothing
 //! baseline --mem-check                    # CI gate: streaming stays bounded-memory
@@ -40,6 +43,14 @@
 //! load average exceeds the CPU count by more than half a core — the
 //! same spirit as `--scaling-check`'s skip on single-CPU hosts.
 //!
+//! `--scenario-check` guards the scenario layer's two contracts: with
+//! the layer off, the smoke workload must keep reproducing the committed
+//! golden hash at 1/2/8 threads (the "pay only when enabled" half,
+//! printed in `--smoke` format for ci.sh); with the `mixed` scenario on,
+//! the same population must hash identically at 1/2/8 threads and
+//! through the streaming pipeline, with the user-cost counters actually
+//! populated.
+//!
 //! `--mem-check` runs a mid-size workload through the streaming pipeline
 //! and fails if the process's peak RSS exceeds a committed ceiling. The
 //! streaming pipeline's contract is that peak memory is
@@ -51,11 +62,12 @@
 use std::process::ExitCode;
 
 use adpf_bench::baseline::{
-    append_to_file, host_cpus, measure, measure_obs_overhead, measure_serve, measure_streaming,
-    BaselineWorkload,
+    append_to_file, host_cpus, measure, measure_obs_overhead, measure_serve, measure_serve_paced,
+    measure_streaming, BaselineWorkload,
 };
 use adpf_core::Simulator;
 use adpf_obs::{to_json_lines, validate_json_lines};
+use adpf_scenario::{ScenarioPopulation, ScenarioSpec};
 
 /// Minimum 4-thread / 1-thread events/s ratio `--scaling-check` accepts.
 const SCALING_FLOOR: f64 = 1.5;
@@ -85,6 +97,17 @@ const MEM_CHECK_CEILING_MB: f64 = 96.0;
 /// the committed ceiling assumes this many concurrently-resident
 /// shards.
 const MEM_CHECK_THREADS: usize = 2;
+
+/// Offered event rate for the paced serving workload
+/// (`--workload serve-paced`), in events per wall-clock second. Well
+/// under the measured drain rate (hundreds of thousands per second), so
+/// the recorded percentiles reflect per-decision cost, not queueing.
+const SERVE_PACE_EVENTS_PER_SEC: f64 = 4_000.0;
+
+/// Thread counts the `--scenario-check` gate sweeps; 8 exceeds the
+/// smoke population's shard count, so the sweep also covers the
+/// more-threads-than-shards regime.
+const SCENARIO_CHECK_THREADS: [usize; 3] = [1, 2, 8];
 
 /// Maximum metric-collection overhead `--obs-check` accepts, in percent.
 const OBS_OVERHEAD_CEILING_PCT: f64 = 3.0;
@@ -141,6 +164,7 @@ fn main() -> ExitCode {
     let mut perf_check = false;
     let mut obs_check = false;
     let mut mem_check = false;
+    let mut scenario_check = false;
     let mut stream = false;
     let mut workload = String::from("e14");
     let mut metrics_out: Option<String> = None;
@@ -167,6 +191,10 @@ fn main() -> ExitCode {
                 mem_check = true;
                 i += 1;
             }
+            "--scenario-check" => {
+                scenario_check = true;
+                i += 1;
+            }
             "--stream" => {
                 stream = true;
                 i += 1;
@@ -174,9 +202,10 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: baseline [--smoke] [--scaling-check] [--perf-check] [--obs-check] \
-                     [--mem-check] [--label NAME] [--out PATH] [--metrics-out PATH] \
-                     [--workload e14|smoke|serve|memcheck|scale-100k|scale-1m] [--stream] \
-                     [--threads-list 1,2,4,8]"
+                     [--mem-check] [--scenario-check] [--label NAME] [--out PATH] \
+                     [--metrics-out PATH] \
+                     [--workload e14|smoke|serve|serve-paced|memcheck|scale-100k|scale-100k-mixed|scale-1m] \
+                     [--stream] [--threads-list 1,2,4,8]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -231,6 +260,70 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        return ExitCode::SUCCESS;
+    }
+
+    if scenario_check {
+        // Half one: scenario-off runs must keep reproducing the smoke
+        // golden at every thread count — the scenario layer's "pay only
+        // when enabled" contract. Printed in `--smoke` format so ci.sh
+        // holds it to the committed golden.
+        let w = BaselineWorkload::smoke();
+        let off: Vec<u64> = SCENARIO_CHECK_THREADS
+            .iter()
+            .map(|&t| measure(&w, t, "scenario-check").report_hash)
+            .collect();
+        if off.windows(2).any(|p| p[0] != p[1]) {
+            eprintln!(
+                "scenario-check FAILED: scenario-off hashes diverge across threads: {off:016x?}"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("smoke-hash: {:016x}", off[0]);
+
+        // Half two: a quick mixed-population run must be thread-count
+        // and streaming/materialized invariant, with the user-cost
+        // counters actually populated.
+        let base = adpf_traces::PopulationConfig::small_test(777);
+        let users = base.num_users;
+        let pop = ScenarioPopulation::new(base, ScenarioSpec::mixed());
+        let mut cfg = w.config();
+        pop.apply_to(&mut cfg);
+        let trace = pop.generate();
+        let mut reports: Vec<adpf_core::SimReport> = SCENARIO_CHECK_THREADS
+            .iter()
+            .map(|&t| Simulator::run_parallel(&cfg, &trace, t))
+            .collect();
+        let n_shards = adpf_core::default_shards(users);
+        reports.push(Simulator::run_streaming(&cfg, users, n_shards, 2, |i| {
+            pop.generate_shard(i, n_shards)
+        }));
+        let on: Vec<u64> = reports.iter().map(|r| r.stable_hash()).collect();
+        if on.windows(2).any(|p| p[0] != p[1]) {
+            eprintln!(
+                "scenario-check FAILED: mixed-scenario hashes diverge \
+                 (threads {SCENARIO_CHECK_THREADS:?} + streaming): {on:016x?}"
+            );
+            return ExitCode::FAILURE;
+        }
+        let sc = &reports[0].scenario;
+        if sc.metered_bytes() == 0 || sc.display_latency_ms.count() == 0 {
+            eprintln!(
+                "scenario-check FAILED: mixed scenario left its counters empty \
+                 (metered {} bytes, {} latency samples)",
+                sc.metered_bytes(),
+                sc.display_latency_ms.count()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "scenario-check: mixed hash {:016x} (threads {SCENARIO_CHECK_THREADS:?} + streaming), \
+             metered {} bytes, wasted {} bytes, {} display-latency samples",
+            on[0],
+            sc.metered_bytes(),
+            sc.prefetch_wasted_bytes,
+            sc.display_latency_ms.count()
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -381,15 +474,20 @@ fn main() -> ExitCode {
         "e14" => BaselineWorkload::e14_style(),
         "smoke" => BaselineWorkload::smoke(),
         "serve" => BaselineWorkload::serve_smoke(),
+        "serve-paced" => BaselineWorkload::serve_smoke_paced(),
         "memcheck" => BaselineWorkload::mem_check(),
         "scale-100k" => BaselineWorkload::scale_100k(),
+        "scale-100k-mixed" => BaselineWorkload::scale_100k_mixed(),
         "scale-1m" => BaselineWorkload::scale_1m(),
         other => {
-            eprintln!("unknown workload `{other}` (e14|smoke|serve|memcheck|scale-100k|scale-1m)");
+            eprintln!(
+                "unknown workload `{other}` \
+                 (e14|smoke|serve|serve-paced|memcheck|scale-100k|scale-100k-mixed|scale-1m)"
+            );
             return ExitCode::FAILURE;
         }
     };
-    let serve_mode = workload == "serve";
+    let serve_mode = workload.starts_with("serve");
     if serve_mode && stream {
         eprintln!("--workload serve replays through the server; it has no --stream variant");
         return ExitCode::FAILURE;
@@ -399,7 +497,9 @@ fn main() -> ExitCode {
     let obs_overhead = measure_obs_overhead(OBS_REPS);
     let mut measurements = Vec::new();
     for &threads in &threads_list {
-        let mut m = if serve_mode {
+        let mut m = if workload == "serve-paced" {
+            measure_serve_paced(&w, threads, &label, SERVE_PACE_EVENTS_PER_SEC)
+        } else if serve_mode {
             measure_serve(&w, threads, &label)
         } else if stream {
             measure_streaming(&w, threads, &label)

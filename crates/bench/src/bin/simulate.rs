@@ -41,11 +41,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use adpf_bench::cli::{
-    build_config, build_population, parse_simulate_args, CliError, SimulateOpts,
+    build_config, build_population, build_scenario, parse_simulate_args, CliError, SimulateOpts,
 };
 use adpf_core::{default_shards, DeliveryMode, SimReport, Simulator};
 use adpf_energy::BatteryModel;
 use adpf_obs::{render_table, to_json_lines, MetricRegistry, ObsSink};
+use adpf_scenario::ScenarioPopulation;
 use adpf_traces::{csv, shard_ranges, PopulationConfig, Trace};
 
 fn usage() {
@@ -60,6 +61,7 @@ fn usage() {
          \x20                [--netem off|flaky|degraded|blackout] [--netem-retries N]\n\
          \x20                [--marketplace off|static|paced] [--pricing first|second]\n\
          \x20                [--floor PRICE]\n\
+         \x20                [--scenario mixed|churn|flashcrowd]\n\
          \x20                [--metrics] [--metrics-out FILE]"
     );
 }
@@ -70,7 +72,11 @@ fn load_trace(o: &SimulateOpts) -> Result<Trace, String> {
         return csv::read_trace(file).map_err(|e| e.to_string());
     }
     // Generation parallelizes over the same thread budget as the
-    // simulation, and is byte-identical at any count.
+    // simulation, and is byte-identical at any count. A scenario wraps
+    // the same base population with its trace-side transforms.
+    if let Some(pop) = build_scenario(o)? {
+        return Ok(pop.generate_parallel(o.threads));
+    }
     Ok(build_population(o)?.generate_parallel(o.threads))
 }
 
@@ -82,6 +88,10 @@ enum Source {
     /// user range on the worker that consumes it. Boxed so the rare
     /// streaming variant doesn't inflate the common `Trace` one.
     Synthetic(Box<PopulationConfig>),
+    /// `--stream --scenario`: like `Synthetic`, but each shard applies
+    /// the scenario's trace-side transforms to its own user range — the
+    /// scenario layers ride the bounded-memory pipeline unchanged.
+    Scenario(Box<ScenarioPopulation>),
     /// `--stream --trace`: shards re-read the CSV file, keeping only
     /// their own user range, so peak memory is O(users-per-shard ×
     /// threads) no matter how large the recording is.
@@ -121,6 +131,17 @@ fn run_source(
                     Simulator::run_streaming(cfg, p.num_users, n, threads, make),
                     None,
                 )
+            }
+        }
+        Source::Scenario(p) => {
+            let users = p.num_users();
+            let n = default_shards(users);
+            let make = |i: usize| p.generate_shard(i, n);
+            if observed {
+                let (r, reg) = Simulator::run_streaming_observed(cfg, users, n, threads, make);
+                (r, Some(reg))
+            } else {
+                (Simulator::run_streaming(cfg, users, n, threads, make), None)
             }
         }
         Source::File {
@@ -212,6 +233,22 @@ fn main() -> ExitCode {
                 users,
                 horizon_ms,
             }
+        } else if let Some(pop) = match build_scenario(&opts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        } {
+            println!(
+                "trace: {} users, {} days, {} shards (streaming, scenario {}, {} threads)\n",
+                pop.num_users(),
+                pop.days(),
+                default_shards(pop.num_users()),
+                pop.spec.name,
+                opts.threads
+            );
+            Source::Scenario(Box::new(pop))
         } else {
             let pop = match build_population(&opts) {
                 Ok(p) => p,

@@ -17,20 +17,31 @@
 //! slot refresh cadence and defaults to the simulator's 30 s
 //! `ad_refresh`, so the default stream replays exactly the slots the
 //! batch simulator would decide.
+//!
+//! `--pace RATE` (with `--events`) throttles emission to RATE events per
+//! wall-clock second — the sub-saturation load generator for serve
+//! latency measurements. The bytes are identical to the unpaced stream.
+//!
+//! `--scenario mixed|churn|flashcrowd` applies the scenario's trace-side
+//! transforms (device-class session shapes, churn, bursts) before
+//! writing, so a downstream `serve --scenario` sees the matching stream.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::process::ExitCode;
 
-use adpf_traces::{csv, PopulationConfig, TraceStats};
+use adpf_scenario::{ScenarioPopulation, ScenarioSpec};
+use adpf_traces::{csv, PopulationConfig, Trace, TraceStats};
 
 fn usage() {
     eprintln!(
         "usage: tracegen [--preset iphone|wp|small] [--users N] [--days N] [--seed N]\n\
          \x20               [--threads N] [--out FILE] [--events] [--refresh-ms N]\n\
+         \x20               [--pace RATE] [--scenario mixed|churn|flashcrowd]\n\
          Generates a synthetic app-usage trace in the adprefetch CSV format,\n\
          or (with --events) the serve wire protocol for the `serve` binary.\n\
-         --threads parallelizes generation; the output is identical at any count."
+         --threads parallelizes generation; the output is identical at any count.\n\
+         --pace throttles event emission to RATE events/s (requires --events)."
     );
 }
 
@@ -44,6 +55,8 @@ struct Opts {
     out: Option<String>,
     events: bool,
     refresh_ms: u64,
+    pace: Option<f64>,
+    scenario: Option<String>,
 }
 
 fn parse(args: &[String]) -> Option<Opts> {
@@ -56,6 +69,8 @@ fn parse(args: &[String]) -> Option<Opts> {
         out: None,
         events: false,
         refresh_ms: 30_000,
+        pace: None,
+        scenario: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -80,6 +95,15 @@ fn parse(args: &[String]) -> Option<Opts> {
             "--refresh-ms" => {
                 opts.refresh_ms = value.parse().ok().filter(|&n| n >= 1)?;
             }
+            "--pace" => {
+                opts.pace = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&r: &f64| r.is_finite() && r > 0.0)?,
+                );
+            }
+            "--scenario" => opts.scenario = Some(value.clone()),
             "--out" => opts.out = Some(value.clone()),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -119,8 +143,22 @@ fn main() -> ExitCode {
         eprintln!("--users and --days must be positive");
         return ExitCode::FAILURE;
     }
+    if opts.pace.is_some() && !opts.events {
+        eprintln!("--pace throttles the serve event stream; it requires --events");
+        return ExitCode::FAILURE;
+    }
 
-    let trace = cfg.generate_parallel(opts.threads);
+    let trace: Trace = match &opts.scenario {
+        Some(name) => match ScenarioSpec::parse_preset(name) {
+            Ok(spec) => ScenarioPopulation::new(cfg, spec).generate_parallel(opts.threads),
+            Err(e) => {
+                eprintln!("{e}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        },
+        None => cfg.generate_parallel(opts.threads),
+    };
     let refresh = adpf_desim::SimDuration::from_millis(opts.refresh_ms);
     let stats = TraceStats::compute(&trace, refresh);
     eprintln!(
@@ -131,7 +169,9 @@ fn main() -> ExitCode {
     // Either format streams through a writer; the serve protocol emits
     // the slot stream a server would ingest, CSV emits the sessions.
     let emit = |mut w: &mut dyn Write| -> io::Result<()> {
-        if opts.events {
+        if let Some(rate) = opts.pace {
+            adpf_serve::write_events_paced(&trace, refresh, rate, &mut w)?;
+        } else if opts.events {
             adpf_serve::write_events(&trace, refresh, &mut w)?;
         } else {
             csv::write_trace(&trace, &mut w).map_err(io::Error::other)?;

@@ -7,6 +7,7 @@ use adpf_desim::SimDuration;
 use adpf_energy::profiles;
 use adpf_netem::{NetemConfig, RetryPolicy};
 use adpf_prediction::PredictorKind;
+use adpf_scenario::{ScenarioPopulation, ScenarioSpec};
 use adpf_traces::PopulationConfig;
 
 /// Parsed `simulate` options, with defaults applied.
@@ -56,6 +57,11 @@ pub struct SimulateOpts {
     pub users: Option<u32>,
     /// Trace-length override in days for synthetic presets.
     pub days: Option<u32>,
+    /// Scenario preset (`mixed`, `churn`, `flashcrowd`; `None` runs the
+    /// plain population). Shapes the synthetic trace *and* enables the
+    /// engine's scenario layer (device classes, data-plan caps, cell
+    /// ceiling, user-cost metrics) with the matching assignment seed.
+    pub scenario: Option<String>,
     /// Print the metric registry as a table after each run.
     pub metrics: bool,
     /// Write the metric registry as JSON lines to this path (implies
@@ -85,6 +91,7 @@ impl Default for SimulateOpts {
             stream: false,
             users: None,
             days: None,
+            scenario: None,
             metrics: false,
             metrics_out: None,
         }
@@ -166,6 +173,7 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             "--floor" => o.floor = Some(value.parse().map_err(|_| parse_err("--floor"))?),
             "--users" => o.users = Some(value.parse().map_err(|_| parse_err("--users"))?),
             "--days" => o.days = Some(value.parse().map_err(|_| parse_err("--days"))?),
+            "--scenario" => o.scenario = Some(value.clone()),
             "--metrics-out" => o.metrics_out = Some(value.clone()),
             other => return Err(invalid(format!("unknown flag `{other}`"))),
         }
@@ -205,6 +213,17 @@ pub fn parse_simulate_args(args: &[String]) -> Result<SimulateOpts, CliError> {
             "--users/--days override a synthetic --preset, not --trace",
         ));
     }
+    // A scenario shapes the *synthetic* trace and keys class assignment
+    // on the population seed; a CSV trace fixes its own sessions and has
+    // no such seed, so the combination would silently half-apply.
+    if let Some(name) = &o.scenario {
+        ScenarioSpec::parse_preset(name).map_err(CliError::Invalid)?;
+        if o.trace.is_some() {
+            return Err(invalid(
+                "--scenario shapes a synthetic --preset, not --trace",
+            ));
+        }
+    }
     if o.days == Some(0) {
         return Err(invalid("--days must be at least 1"));
     }
@@ -232,6 +251,17 @@ pub fn build_population(o: &SimulateOpts) -> Result<PopulationConfig, String> {
         pop.days = days;
     }
     Ok(pop)
+}
+
+/// Resolves the scenario population for parsed options: the synthetic
+/// population wrapped with the `--scenario` preset's spec. `Ok(None)`
+/// when no scenario was requested.
+pub fn build_scenario(o: &SimulateOpts) -> Result<Option<ScenarioPopulation>, String> {
+    let Some(name) = &o.scenario else {
+        return Ok(None);
+    };
+    let spec = ScenarioSpec::parse_preset(name)?;
+    Ok(Some(ScenarioPopulation::new(build_population(o)?, spec)))
 }
 
 /// Resolves a netem preset name (delegates to
@@ -299,6 +329,18 @@ pub fn build_config(o: &SimulateOpts, mode: DeliveryMode) -> Result<SystemConfig
             return Err("--floor requires a --marketplace regime other than `off`".into());
         }
         cfg.marketplace.floors = PriceFloors::uniform(f);
+    }
+    if let Some(name) = &o.scenario {
+        let spec = ScenarioSpec::parse_preset(name)?;
+        // The population seed is `o.seed` (see `build_population`), so
+        // the engine's class assignment matches the trace generator's.
+        // An explicit `--netem` preset wins over the scenario's binding,
+        // so the two flags compose instead of silently clobbering.
+        let explicit_netem = (o.netem != "off").then(|| cfg.netem.clone());
+        spec.apply_to(&mut cfg, o.seed);
+        if let Some(netem) = explicit_netem {
+            cfg.netem = netem;
+        }
     }
     cfg.validate()?;
     Ok(cfg)
@@ -486,6 +528,55 @@ mod tests {
         assert!(parse_simulate_args(&argv("--users many")).is_err());
         let o = parse_simulate_args(&argv("--trace t.csv")).unwrap();
         assert!(build_population(&o).is_err());
+    }
+
+    #[test]
+    fn scenario_flag_parses_and_reaches_the_config() {
+        let o = parse_simulate_args(&argv("--scenario mixed --seed 777")).unwrap();
+        assert_eq!(o.scenario.as_deref(), Some("mixed"));
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(cfg.scenario.enabled);
+        assert_eq!(
+            cfg.scenario.assign_seed, 777,
+            "assignment keys on the population seed"
+        );
+        assert_eq!(cfg.scenario.classes.len(), 3);
+        let pop = build_scenario(&o).unwrap().unwrap();
+        assert_eq!(pop.assign_seed(), 777);
+
+        // No scenario: config layer off, no population wrapper.
+        let o = parse_simulate_args(&[]).unwrap();
+        assert!(
+            !build_config(&o, DeliveryMode::Prefetch)
+                .unwrap()
+                .scenario
+                .enabled
+        );
+        assert!(build_scenario(&o).unwrap().is_none());
+    }
+
+    #[test]
+    fn scenario_flag_rejects_unknown_presets_and_csv_traces() {
+        assert!(parse_simulate_args(&argv("--scenario rush-hour")).is_err());
+        assert!(parse_simulate_args(&argv("--trace t.csv --scenario mixed")).is_err());
+    }
+
+    #[test]
+    fn explicit_netem_wins_over_the_scenario_binding() {
+        // flashcrowd binds flaky+outage; an explicit --netem degraded
+        // must override it, while the default `off` accepts the binding.
+        let o = parse_simulate_args(&argv("--scenario flashcrowd")).unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert!(cfg.netem.enabled);
+        assert!(cfg.netem.name.contains("outage"));
+
+        let o = parse_simulate_args(&argv("--scenario flashcrowd --netem degraded")).unwrap();
+        let cfg = build_config(&o, DeliveryMode::Prefetch).unwrap();
+        assert_eq!(cfg.netem.name, "degraded");
+        assert!(
+            cfg.scenario.cell.enabled,
+            "cell ceiling survives the override"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub mod netem;
 pub mod obs;
 pub mod prediction;
 pub mod scaling;
+pub mod scenario;
 pub mod serving;
 pub mod system;
 pub mod traces;
@@ -18,7 +19,7 @@ use crate::table::Table;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "e19", "e20",
+        "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
     ]
 }
 
@@ -61,6 +62,8 @@ pub fn run_experiment_threads(id: &str, scale: Scale, threads: usize) -> Option<
         "e19" => Some(vec![marketplace::e19_reactive_marketplace(scale, threads)]),
         // E20 sweeps its own thread counts, like E17.
         "e20" => Some(vec![serving::e20_serving_load(scale)]),
+        "e21" => Some(vec![scenario::e21_population_mix(scale, threads)]),
+        "e22" => Some(vec![scenario::e22_flash_crowd(scale, threads)]),
         _ => None,
     }
 }
@@ -76,6 +79,6 @@ mod tests {
 
     #[test]
     fn ids_are_complete() {
-        assert_eq!(all_ids().len(), 20);
+        assert_eq!(all_ids().len(), 22);
     }
 }

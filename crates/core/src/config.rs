@@ -9,6 +9,8 @@ use adpf_overbooking::planner::{
 };
 use adpf_prediction::PredictorKind;
 
+use crate::scenario::ScenarioConfig;
+
 /// How ads reach clients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeliveryMode {
@@ -160,6 +162,14 @@ pub struct SystemConfig {
     /// floors 0.0, second-price), so reports are bit-identical to
     /// pre-marketplace builds.
     pub marketplace: MarketplaceConfig,
+    /// Scenario layer: heterogeneous device classes with data-plan caps,
+    /// per-region cell-capacity ceilings, and user-cost accounting
+    /// (metered bytes, wasted prefetch, display latency). Disabled by
+    /// default — the homogeneous population the paper assumes. When
+    /// disabled the engine takes exactly the legacy code path (no extra
+    /// state, no extra metrics), so reports are bit-identical to
+    /// pre-scenario builds.
+    pub scenario: ScenarioConfig,
     /// Master seed (exchange randomness, candidate sampling).
     pub seed: u64,
     /// RNG stream selector for sharded runs. Stream `0` (the default)
@@ -213,6 +223,7 @@ impl SystemConfig {
             sync_dropout: 0.0,
             netem: NetemConfig::disabled(),
             marketplace: MarketplaceConfig::disabled(),
+            scenario: ScenarioConfig::disabled(),
             seed,
             rng_stream: 0,
             budget_fraction: 1.0,
@@ -282,6 +293,9 @@ impl SystemConfig {
         self.marketplace
             .validate()
             .map_err(|e| format!("marketplace: {e}"))?;
+        self.scenario
+            .validate()
+            .map_err(|e| format!("scenario: {e}"))?;
         if !(self.budget_fraction > 0.0 && self.budget_fraction <= 1.0) {
             return Err(format!(
                 "budget_fraction {} outside (0, 1]",
@@ -331,6 +345,25 @@ impl SystemConfig {
                 d.push_str(&format!(
                     " floors={}/{}",
                     self.marketplace.floors.realtime, self.marketplace.floors.advance
+                ));
+            }
+        }
+        // Same pattern again for the scenario layer: append-only when
+        // enabled, so scenario-off golden hashes hold. The shard-derived
+        // `user_offset` is deliberately excluded — all shards of one run
+        // must share the same description.
+        if self.scenario.enabled {
+            d.push_str(&format!(
+                " scenario={} classes={}",
+                self.scenario.name,
+                self.scenario.classes.len()
+            ));
+            if self.scenario.cell.enabled {
+                d.push_str(&format!(
+                    " cell={}x{}/{}",
+                    self.scenario.cell.regions,
+                    self.scenario.cell.fetches_per_window,
+                    self.scenario.cell.window
                 ));
             }
         }
@@ -431,6 +464,37 @@ mod tests {
             c.validate().is_err(),
             "invalid marketplace must fail validation"
         );
+    }
+
+    #[test]
+    fn scenario_config_feeds_validation_and_describe() {
+        use crate::scenario::CellCapacity;
+
+        let mut c = SystemConfig::prefetch_default(1);
+        let plain = c.describe();
+        assert!(
+            !plain.contains("scenario"),
+            "scenario-off header stays legacy"
+        );
+
+        c.scenario = ScenarioConfig::mixed(777);
+        assert_eq!(c.validate(), Ok(()));
+        let d = c.describe();
+        assert!(d.contains("scenario=mixed classes=3"), "header: {d}");
+        assert!(d.starts_with(&plain), "scenario only appends: {d}");
+
+        // The shard-derived user offset must not leak into the header:
+        // all shards of one run share one config description.
+        let mut sharded = c.clone();
+        sharded.scenario.user_offset = 120;
+        assert_eq!(sharded.describe(), d);
+
+        c.scenario.cell = CellCapacity::capped(4, 100, SimDuration::from_mins(1));
+        assert!(c.describe().contains("cell=4x100"), "{}", c.describe());
+        assert_eq!(c.validate(), Ok(()));
+
+        c.scenario.classes[0].weight = f64::NAN;
+        assert!(c.validate().is_err(), "invalid scenario must fail");
     }
 
     #[test]

@@ -41,11 +41,13 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod scenario;
 pub mod sim;
 
 pub use config::{DeliveryMode, PlannerKind, SystemConfig};
 pub use engine::{ClientEngine, EngineEvent, EngineScratch, SlotFeed};
-pub use report::{NetemCounters, SimReport};
+pub use report::{NetemCounters, ScenarioCounters, SimReport};
+pub use scenario::{CellCapacity, CellPolicy, DeviceClass, ScenarioConfig};
 pub use sim::{
     default_shards, shard_configs, ShardContext, Simulator, DEFAULT_SHARDS, MAX_SHARDS,
     MAX_USERS_PER_SHARD, USERS_PER_SHARD,

@@ -2,11 +2,12 @@
 
 use adpf_auction::LedgerTotals;
 use adpf_energy::EnergyBreakdown;
-use adpf_obs::MetricRegistry;
+use adpf_obs::{Histogram, MetricRegistry};
 
 /// Registry names of the metrics the simulator maintains as the source
-/// of truth for [`NetemCounters`]. The report field is *derived* from
-/// these at finalize, never incremented directly.
+/// of truth for [`NetemCounters`] and [`ScenarioCounters`]. The report
+/// fields are *derived* from these at finalize, never incremented
+/// directly.
 pub mod metric_names {
     pub const NETEM_SYNC_FAILURES: &str = "netem.sync_failures";
     pub const NETEM_RETRIES_SCHEDULED: &str = "netem.retries_scheduled";
@@ -15,6 +16,14 @@ pub mod metric_names {
     pub const NETEM_REALTIME_FAILURES: &str = "netem.realtime_failures";
     pub const NETEM_ADS_RESCUED: &str = "netem.ads_rescued";
     pub const NETEM_RESCUES_UNPLACED: &str = "netem.rescues_unplaced";
+    pub const SCEN_METERED_BYTES_DOWN: &str = "scenario.metered_bytes_down";
+    pub const SCEN_METERED_BYTES_UP: &str = "scenario.metered_bytes_up";
+    pub const SCEN_WASTED_BYTES: &str = "scenario.prefetch_wasted_bytes";
+    pub const SCEN_WASTED_ADS: &str = "scenario.prefetch_wasted_ads";
+    pub const SCEN_CAP_BLOCKED_SYNCS: &str = "scenario.cap_blocked_syncs";
+    pub const SCEN_CELL_DROPPED: &str = "scenario.cell_dropped_fetches";
+    pub const SCEN_CELL_DEFERRED: &str = "scenario.cell_deferred_fetches";
+    pub const SCEN_DISPLAY_LATENCY_MS: &str = "scenario.display_latency_ms";
 }
 
 /// Counters produced by network-condition emulation. All zero when netem
@@ -69,6 +78,84 @@ impl NetemCounters {
     }
 }
 
+/// User-cost counters produced by the scenario layer: bytes over metered
+/// networks, prefetch traffic that never turned into a display, data-cap
+/// and cell-capacity interventions, and the ad-display-latency
+/// distribution. All default (zero) when the scenario layer is disabled,
+/// so legacy reports compare and hash equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioCounters {
+    /// Downlink bytes moved over metered links (ad payloads, sync
+    /// overhead, realtime fetches — everything the plan bills for).
+    pub metered_bytes_down: u64,
+    /// Uplink bytes moved over metered links.
+    pub metered_bytes_up: u64,
+    /// Downlink bytes spent prefetching ads that expired undisplayed
+    /// (one `ad_bytes_down` per wasted ad — a lower bound; replicas of
+    /// the same ad add more).
+    pub prefetch_wasted_bytes: u64,
+    /// Prefetched ads that expired without a single display.
+    pub prefetch_wasted_ads: u64,
+    /// Prefetch syncs blocked because the user's data-plan budget for
+    /// the current period was exhausted.
+    pub cap_blocked_syncs: u64,
+    /// Realtime fetches rejected by a saturated cell region (the slot
+    /// went unfilled).
+    pub cell_dropped_fetches: u64,
+    /// Realtime fetches queued behind a saturated cell region (charged
+    /// the configured queueing delay).
+    pub cell_deferred_fetches: u64,
+    /// Ad display latency in milliseconds, one sample per displayed ad:
+    /// zero for cache hits, fetch transfer time (plus link latency and
+    /// any cell queueing delay) for realtime paths.
+    pub display_latency_ms: Histogram,
+}
+
+impl ScenarioCounters {
+    /// Reads the counters back out of a metric registry (the engine's
+    /// source of truth — see [`metric_names`]). Metrics a run never
+    /// touched read as zero/empty, so a scenario-less registry derives
+    /// the default counters and legacy reports keep comparing equal.
+    pub fn from_metrics(reg: &MetricRegistry) -> Self {
+        ScenarioCounters {
+            metered_bytes_down: reg.counter_value(metric_names::SCEN_METERED_BYTES_DOWN),
+            metered_bytes_up: reg.counter_value(metric_names::SCEN_METERED_BYTES_UP),
+            prefetch_wasted_bytes: reg.counter_value(metric_names::SCEN_WASTED_BYTES),
+            prefetch_wasted_ads: reg.counter_value(metric_names::SCEN_WASTED_ADS),
+            cap_blocked_syncs: reg.counter_value(metric_names::SCEN_CAP_BLOCKED_SYNCS),
+            cell_dropped_fetches: reg.counter_value(metric_names::SCEN_CELL_DROPPED),
+            cell_deferred_fetches: reg.counter_value(metric_names::SCEN_CELL_DEFERRED),
+            display_latency_ms: reg
+                .histogram_snapshot(metric_names::SCEN_DISPLAY_LATENCY_MS)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Adds another run's counters into this one (histogram merges
+    /// bucket-wise, so shard-order merging is order-independent here).
+    pub fn absorb(&mut self, other: &ScenarioCounters) {
+        self.metered_bytes_down += other.metered_bytes_down;
+        self.metered_bytes_up += other.metered_bytes_up;
+        self.prefetch_wasted_bytes += other.prefetch_wasted_bytes;
+        self.prefetch_wasted_ads += other.prefetch_wasted_ads;
+        self.cap_blocked_syncs += other.cap_blocked_syncs;
+        self.cell_dropped_fetches += other.cell_dropped_fetches;
+        self.cell_deferred_fetches += other.cell_deferred_fetches;
+        self.display_latency_ms.merge(&other.display_latency_ms);
+    }
+
+    /// Total bytes over metered links.
+    pub fn metered_bytes(&self) -> u64 {
+        self.metered_bytes_down + self.metered_bytes_up
+    }
+
+    /// Upper bound on the display-latency quantile `q` in milliseconds;
+    /// `0` with no samples.
+    pub fn display_latency_p(&self, q: f64) -> u64 {
+        self.display_latency_ms.quantile_upper_bound(q)
+    }
+}
+
 /// Everything one simulation run measures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -101,6 +188,9 @@ pub struct SimReport {
     pub replicas_assigned: u64,
     /// Network-emulation counters; all zero when netem is disabled.
     pub netem: NetemCounters,
+    /// Scenario-layer user-cost counters; all default when the scenario
+    /// layer is disabled.
+    pub scenario: ScenarioCounters,
     /// Per-user total ad radio energy in joules, indexed by user id — the
     /// raw series behind the paper's per-user savings CDF.
     pub per_user_energy_j: Vec<f64>,
@@ -127,6 +217,7 @@ impl SimReport {
             syncs_dropped: 0,
             replicas_assigned: 0,
             netem: NetemCounters::default(),
+            scenario: ScenarioCounters::default(),
             per_user_energy_j: Vec::new(),
             ledger: LedgerTotals::default(),
         }
@@ -160,6 +251,7 @@ impl SimReport {
         self.syncs_dropped += other.syncs_dropped;
         self.replicas_assigned += other.replicas_assigned;
         self.netem.absorb(&other.netem);
+        self.scenario.absorb(&other.scenario);
         self.per_user_energy_j
             .extend_from_slice(&other.per_user_energy_j);
         self.ledger.merge(&other.ledger);
@@ -297,6 +389,23 @@ impl SimReport {
                 n.rescues_unplaced,
             ));
         }
+        if self.scenario != ScenarioCounters::default() {
+            let sc = &self.scenario;
+            s.push_str(&format!(
+                "\n  scenario: metered={:.2} MB (down {:.2} / up {:.2}) wasted={:.2} MB ({} ads) cap-blocked={} cell drop/defer={}/{} display-lat p50/p95/p99={}/{}/{} ms",
+                sc.metered_bytes() as f64 / 1e6,
+                sc.metered_bytes_down as f64 / 1e6,
+                sc.metered_bytes_up as f64 / 1e6,
+                sc.prefetch_wasted_bytes as f64 / 1e6,
+                sc.prefetch_wasted_ads,
+                sc.cap_blocked_syncs,
+                sc.cell_dropped_fetches,
+                sc.cell_deferred_fetches,
+                sc.display_latency_p(0.50),
+                sc.display_latency_p(0.95),
+                sc.display_latency_p(0.99),
+            ));
+        }
         s
     }
 
@@ -341,6 +450,27 @@ impl SimReport {
             h.write_u64(self.netem.realtime_failures);
             h.write_u64(self.netem.ads_rescued);
             h.write_u64(self.netem.rescues_unplaced);
+        }
+        // Scenario counters gate the same way: scenario-off runs keep the
+        // exact pre-scenario byte stream and the smoke golden survives.
+        if self.scenario != ScenarioCounters::default() {
+            let sc = &self.scenario;
+            h.write_u64(sc.metered_bytes_down);
+            h.write_u64(sc.metered_bytes_up);
+            h.write_u64(sc.prefetch_wasted_bytes);
+            h.write_u64(sc.prefetch_wasted_ads);
+            h.write_u64(sc.cap_blocked_syncs);
+            h.write_u64(sc.cell_dropped_fetches);
+            h.write_u64(sc.cell_deferred_fetches);
+            let hist = &sc.display_latency_ms;
+            h.write_u64(hist.count());
+            h.write_u64(hist.sum());
+            h.write_u64(hist.min());
+            h.write_u64(hist.max());
+            for (i, n) in hist.nonzero_buckets() {
+                h.write_u64(i as u64);
+                h.write_u64(n);
+            }
         }
         h.write_u64(self.per_user_energy_j.len() as u64);
         for &e in &self.per_user_energy_j {
@@ -409,6 +539,7 @@ mod tests {
             syncs_dropped: 0,
             replicas_assigned: 0,
             netem: NetemCounters::default(),
+            scenario: ScenarioCounters::default(),
             per_user_energy_j: vec![energy_j],
             ledger: LedgerTotals {
                 revenue,
@@ -546,6 +677,75 @@ mod tests {
             NetemCounters::from_metrics(&MetricRegistry::new()),
             NetemCounters::default()
         );
+    }
+
+    #[test]
+    fn scenario_absorb_equals_registry_merge() {
+        // Same equivalence as netem: per-shard derive + absorb must equal
+        // registry-merge + derive, counters and histogram alike.
+        use adpf_obs::ObsSink;
+
+        let fill = |counters: [u64; 7], lat_samples: &[u64]| {
+            let reg = MetricRegistry::new();
+            let names = [
+                metric_names::SCEN_METERED_BYTES_DOWN,
+                metric_names::SCEN_METERED_BYTES_UP,
+                metric_names::SCEN_WASTED_BYTES,
+                metric_names::SCEN_WASTED_ADS,
+                metric_names::SCEN_CAP_BLOCKED_SYNCS,
+                metric_names::SCEN_CELL_DROPPED,
+                metric_names::SCEN_CELL_DEFERRED,
+            ];
+            for (name, v) in names.iter().zip(counters) {
+                reg.add(name, v);
+            }
+            for &s in lat_samples {
+                reg.observe(metric_names::SCEN_DISPLAY_LATENCY_MS, s);
+            }
+            reg
+        };
+        let shard_a = fill([4096, 512, 8192, 2, 1, 0, 3], &[0, 120, 450]);
+        let shard_b = fill([1024, 128, 0, 0, 4, 2, 0], &[0, 0, 900]);
+
+        let mut absorbed = ScenarioCounters::from_metrics(&shard_a);
+        absorbed.absorb(&ScenarioCounters::from_metrics(&shard_b));
+
+        let mut merged = MetricRegistry::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(absorbed, ScenarioCounters::from_metrics(&merged));
+        assert_eq!(absorbed.metered_bytes(), 4096 + 512 + 1024 + 128);
+        assert_eq!(absorbed.display_latency_ms.count(), 6);
+        assert!(absorbed.display_latency_p(0.99) >= 900);
+
+        // An untouched registry derives the all-zero default.
+        assert_eq!(
+            ScenarioCounters::from_metrics(&MetricRegistry::new()),
+            ScenarioCounters::default()
+        );
+    }
+
+    #[test]
+    fn scenario_counters_gate_summary_and_hash() {
+        let plain = report(1.0, 1.0, 1);
+        assert!(
+            !plain.summary().contains("scenario"),
+            "all-default scenario stays out of the summary"
+        );
+        let mut with = plain.clone();
+        with.scenario.metered_bytes_down = 4096;
+        with.scenario.prefetch_wasted_ads = 1;
+        with.scenario.display_latency_ms.record(250);
+        assert!(with.summary().contains("scenario"));
+        assert_ne!(
+            plain.stable_hash(),
+            with.stable_hash(),
+            "populated scenario counters change the hash"
+        );
+        let mut merged = plain.clone();
+        merged.merge(&with);
+        assert_eq!(merged.scenario.metered_bytes_down, 4096);
+        assert_eq!(merged.scenario.display_latency_ms.count(), 1);
     }
 
     #[test]

@@ -532,6 +532,9 @@ pub fn shard_configs(
             } else {
                 (range.end - range.start) as f64 / total_users as f64
             };
+            // Scenario class/region assignment is keyed on the *global*
+            // user id, so each shard must know where its local ids start.
+            c.scenario.user_offset = range.start;
             c
         })
         .collect()

@@ -1,0 +1,358 @@
+//! Scenario specifications: what a named preset means.
+//!
+//! A [`ScenarioSpec`] is the declarative description of one scenario —
+//! the device-class mix, churn fractions, burst window, cell-capacity
+//! ceiling, and optional netem binding. It is pure data: the trace-side
+//! half is interpreted by [`crate::ScenarioPopulation`], the engine-side
+//! half is installed on a `SystemConfig` by [`ScenarioSpec::apply_to`]
+//! (which fills `SystemConfig::scenario` and, when bound, the netem
+//! preset).
+
+use adpf_core::scenario::{CellCapacity, DeviceClass, ScenarioConfig};
+use adpf_core::SystemConfig;
+use adpf_desim::{SimDuration, SimTime};
+use adpf_netem::NetemConfig;
+
+/// One device class of a [`PopulationMix`]: the engine-side
+/// [`DeviceClass`] (energy profile, metered flag, data-plan cap, mix
+/// weight) plus the trace-side session shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Engine-side class: radio profile, metering, cap, weight.
+    pub device: DeviceClass,
+    /// Multiplier on session durations for users of this class (the
+    /// "app-session shape": WiFi-heavy users linger, budget users snack).
+    pub session_scale: f64,
+}
+
+/// A weighted mix of device classes. Class membership of a user is
+/// `class_index(assign_seed, global_user, &devices)` — the same pure
+/// function the engine uses, so both sides always agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationMix {
+    /// The classes, in weight-walk order.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl PopulationMix {
+    /// The canonical three-way mix: 40% WiFi-heavy (long sessions), 35%
+    /// LTE, 25% 3G-budget with a 1 MiB/month data plan and short
+    /// sessions.
+    pub fn mixed() -> Self {
+        Self {
+            classes: vec![
+                ClassSpec {
+                    device: DeviceClass::wifi_heavy(0.40),
+                    session_scale: 1.25,
+                },
+                ClassSpec {
+                    device: DeviceClass::lte(0.35),
+                    session_scale: 1.0,
+                },
+                ClassSpec {
+                    device: DeviceClass::budget_3g(0.25, 1 << 20),
+                    session_scale: 0.75,
+                },
+            ],
+        }
+    }
+
+    /// The engine-side classes, in order.
+    pub fn devices(&self) -> Vec<DeviceClass> {
+        self.classes.iter().map(|c| c.device.clone()).collect()
+    }
+}
+
+/// Mid-trace arrivals and departures.
+///
+/// A user whose arrival coordinate falls below `arrival_fraction`
+/// produces no sessions before their arrival time — the simulator sees
+/// an empty predictor history until then (the cold-start regime).
+/// Departures mirror this at the other end. Both times are uniform over
+/// the horizon, derived from stable per-user coordinates, so churn is
+/// invariant under sharding and streaming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Fraction of users that arrive mid-trace, in `[0, 1]`.
+    pub arrival_fraction: f64,
+    /// Fraction of users that depart before the horizon, in `[0, 1]`.
+    pub departure_fraction: f64,
+}
+
+impl ChurnSpec {
+    /// No churn: everyone is present for the whole trace.
+    pub fn none() -> Self {
+        Self {
+            arrival_fraction: 0.0,
+            departure_fraction: 0.0,
+        }
+    }
+}
+
+/// An app-release flash crowd: extra sessions of one hot app injected
+/// over `[start, start + duration)` for users in the affected regions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Burst window start.
+    pub start: SimTime,
+    /// Burst window length.
+    pub duration: SimDuration,
+    /// Mean extra sessions per affected user over the window (Poisson).
+    pub intensity: f64,
+    /// Fraction of cell regions hit, in `[0, 1]`. Regions `0..k` are
+    /// affected, `k = round(fraction × regions)` — the crowd piles onto
+    /// specific cells, which is what makes the per-region capacity
+    /// ceiling bite.
+    pub region_fraction: f64,
+    /// The hot app everyone opens.
+    pub app: u16,
+    /// Shortest injected session, in seconds.
+    pub min_secs: u64,
+    /// Longest injected session, in seconds (inclusive).
+    pub max_secs: u64,
+}
+
+impl BurstSpec {
+    /// The canonical flash crowd: day 3, 19:00–21:00 (the diurnal peak),
+    /// three extra sessions per affected user on average, half the
+    /// regions, app 0.
+    pub fn evening_release() -> Self {
+        Self {
+            start: SimTime::from_days(3) + SimDuration::from_hours(19),
+            duration: SimDuration::from_hours(2),
+            intensity: 3.0,
+            region_fraction: 0.5,
+            app: 0,
+            min_secs: 30,
+            max_secs: 180,
+        }
+    }
+
+    /// Number of affected regions out of `regions`.
+    pub fn affected_regions(&self, regions: u32) -> u32 {
+        ((self.region_fraction * regions as f64).round() as u32).min(regions)
+    }
+}
+
+/// A complete scenario: mix + churn + burst + cell ceiling + optional
+/// netem binding, under one preset name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Preset name (report headers, CLI).
+    pub name: String,
+    /// Device-class mix.
+    pub mix: PopulationMix,
+    /// Mid-trace arrivals/departures.
+    pub churn: ChurnSpec,
+    /// Flash-crowd burst, if any.
+    pub burst: Option<BurstSpec>,
+    /// Per-region cell-capacity ceiling (engine side).
+    pub cell: CellCapacity,
+    /// Netem preset the scenario binds, if any (`None` keeps whatever
+    /// the config already has, letting `--netem` compose freely).
+    pub netem: Option<NetemConfig>,
+}
+
+impl ScenarioSpec {
+    /// Resolves a CLI preset name. The canonical name set shared by the
+    /// `simulate`, `tracegen`, and `serve` binaries.
+    ///
+    /// - `mixed`: the three-class device mix, no churn, no burst.
+    /// - `churn`: the mix plus 30% mid-trace arrivals / 20% departures.
+    /// - `flashcrowd`: the mix plus an evening app-release burst, a
+    ///   per-region cell ceiling, and a netem outage overlapping the
+    ///   burst — the composed stress case.
+    pub fn parse_preset(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "mixed" => Self::mixed(),
+            "churn" => Self::churn(),
+            "flashcrowd" => Self::flash_crowd(),
+            other => return Err(format!("unknown scenario preset `{other}`")),
+        })
+    }
+
+    /// The three-class device mix alone.
+    pub fn mixed() -> Self {
+        Self {
+            name: "mixed".to_string(),
+            mix: PopulationMix::mixed(),
+            churn: ChurnSpec::none(),
+            burst: None,
+            cell: CellCapacity::disabled(),
+            netem: None,
+        }
+    }
+
+    /// The mix plus churn: 30% of users arrive mid-trace with no prior
+    /// history, 20% depart early.
+    pub fn churn() -> Self {
+        Self {
+            name: "churn".to_string(),
+            churn: ChurnSpec {
+                arrival_fraction: 0.30,
+                departure_fraction: 0.20,
+            },
+            ..Self::mixed()
+        }
+    }
+
+    /// The composed stress case: mix + evening flash crowd + a 4-region
+    /// cell ceiling + flaky netem with a blackout covering the first
+    /// half of the burst on a quarter of the population.
+    pub fn flash_crowd() -> Self {
+        let burst = BurstSpec::evening_release();
+        let outage_start_h = burst.start.as_millis() / adpf_desim::time::MILLIS_PER_HOUR;
+        Self {
+            name: "flashcrowd".to_string(),
+            burst: Some(burst),
+            cell: CellCapacity::capped(4, 600, SimDuration::from_mins(1)),
+            netem: Some(NetemConfig::flaky_cellular().with_outage(
+                outage_start_h,
+                SimDuration::from_hours(1),
+                0.25,
+            )),
+            ..Self::mixed()
+        }
+    }
+
+    /// Installs the engine-side half of the scenario on `config`: the
+    /// scenario layer (classes, cell ceiling, assignment seed) and, when
+    /// the spec binds one, the netem preset. `assign_seed` must be the
+    /// population seed so the engine's class assignment matches the
+    /// trace generator's.
+    pub fn apply_to(&self, config: &mut SystemConfig, assign_seed: u64) {
+        config.scenario = ScenarioConfig {
+            enabled: true,
+            name: self.name.clone(),
+            assign_seed,
+            classes: self.mix.devices(),
+            cell: self.cell.clone(),
+            user_offset: 0,
+        };
+        if let Some(netem) = &self.netem {
+            config.netem = netem.clone();
+        }
+    }
+
+    /// Validates the trace-side invariants the generator relies on (the
+    /// engine-side half is validated by `SystemConfig::validate` after
+    /// [`ScenarioSpec::apply_to`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mix.classes.is_empty() {
+            return Err("scenario: mix needs at least one class".into());
+        }
+        for c in &self.mix.classes {
+            if !(c.session_scale.is_finite() && c.session_scale > 0.0) {
+                return Err(format!(
+                    "scenario: class `{}` session_scale {} must be positive and finite",
+                    c.device.name, c.session_scale
+                ));
+            }
+        }
+        for (label, f) in [
+            ("arrival", self.churn.arrival_fraction),
+            ("departure", self.churn.departure_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("scenario: {label} fraction {f} outside [0, 1]"));
+            }
+        }
+        if let Some(b) = &self.burst {
+            if b.duration.is_zero() {
+                return Err("scenario: burst duration must be positive".into());
+            }
+            if !(b.intensity.is_finite() && b.intensity >= 0.0) {
+                return Err(format!("scenario: burst intensity {} invalid", b.intensity));
+            }
+            if !(0.0..=1.0).contains(&b.region_fraction) {
+                return Err(format!(
+                    "scenario: burst region fraction {} outside [0, 1]",
+                    b.region_fraction
+                ));
+            }
+            if b.min_secs == 0 || b.max_secs < b.min_secs {
+                return Err(format!(
+                    "scenario: burst session bounds [{}, {}] invalid",
+                    b.min_secs, b.max_secs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_validate() {
+        for name in ["mixed", "churn", "flashcrowd"] {
+            let spec = ScenarioSpec::parse_preset(name).unwrap();
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.validate(), Ok(()));
+        }
+        assert!(ScenarioSpec::parse_preset("rush-hour").is_err());
+    }
+
+    #[test]
+    fn apply_to_installs_engine_half_and_validates() {
+        let mut cfg = SystemConfig::prefetch_default(9);
+        ScenarioSpec::mixed().apply_to(&mut cfg, 1234);
+        assert!(cfg.scenario.enabled);
+        assert_eq!(cfg.scenario.assign_seed, 1234);
+        assert_eq!(cfg.scenario.classes.len(), 3);
+        assert!(!cfg.netem.enabled, "mixed binds no netem");
+        assert_eq!(cfg.validate(), Ok(()));
+
+        let mut cfg = SystemConfig::prefetch_default(9);
+        ScenarioSpec::flash_crowd().apply_to(&mut cfg, 1234);
+        assert!(cfg.netem.enabled, "flashcrowd binds flaky+outage netem");
+        assert_eq!(cfg.netem.outages.len(), 1);
+        assert!(cfg.scenario.cell.enabled);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn outage_overlaps_the_burst_window() {
+        let spec = ScenarioSpec::flash_crowd();
+        let b = spec.burst.unwrap();
+        let o = spec.netem.unwrap().outages[0];
+        assert!(o.start >= b.start && o.start < b.start + b.duration);
+    }
+
+    #[test]
+    fn burst_affected_regions_round_and_clamp() {
+        let b = BurstSpec::evening_release();
+        assert_eq!(b.affected_regions(4), 2);
+        assert_eq!(b.affected_regions(3), 2, "rounds 1.5 up");
+        let full = BurstSpec {
+            region_fraction: 1.0,
+            ..b
+        };
+        assert_eq!(full.affected_regions(4), 4);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_specs() {
+        let mut spec = ScenarioSpec::mixed();
+        spec.mix.classes.clear();
+        assert!(spec.validate().is_err(), "empty mix");
+
+        let mut spec = ScenarioSpec::mixed();
+        spec.mix.classes[0].session_scale = 0.0;
+        assert!(spec.validate().is_err(), "zero session scale");
+
+        let mut spec = ScenarioSpec::churn();
+        spec.churn.arrival_fraction = 1.5;
+        assert!(spec.validate().is_err(), "fraction above 1");
+
+        let mut spec = ScenarioSpec::flash_crowd();
+        spec.burst.as_mut().unwrap().intensity = f64::NAN;
+        assert!(spec.validate().is_err(), "NaN intensity");
+
+        let mut spec = ScenarioSpec::flash_crowd();
+        spec.burst.as_mut().unwrap().max_secs = 1;
+        assert!(spec.validate().is_err(), "max below min");
+    }
+}

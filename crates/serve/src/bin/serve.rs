@@ -24,6 +24,7 @@ use adpf_energy::profiles;
 use adpf_netem::NetemConfig;
 use adpf_obs::render_table;
 use adpf_prediction::PredictorKind;
+use adpf_scenario::ScenarioSpec;
 use adpf_serve::{serve, ServeOptions, ServeOutcome, DECISION_LATENCY_METRIC};
 
 struct Opts {
@@ -37,6 +38,8 @@ struct Opts {
     netem: Option<String>,
     marketplace: Option<String>,
     pricing: Option<String>,
+    scenario: Option<String>,
+    scenario_seed: Option<u64>,
     metrics: bool,
 }
 
@@ -47,11 +50,15 @@ fn usage() {
          \x20            [--planner greedy|fixed-K|none] [--radio 3g|lte|wifi]\n\
          \x20            [--netem off|flaky|degraded|blackout]\n\
          \x20            [--marketplace off|static|paced] [--pricing first|second]\n\
+         \x20            [--scenario mixed|churn|flashcrowd] [--scenario-seed N]\n\
          \x20            [--metrics]\n\
          \n\
          Reads a `#serve` event stream from stdin (or one TCP connection\n\
          with --listen), decides every slot in-line, and prints the final\n\
-         report, requests/s, and decision-latency percentiles."
+         report, requests/s, and decision-latency percentiles.\n\
+         --scenario enables the engine's scenario layer; --scenario-seed\n\
+         must match the upstream tracegen seed (defaults to --seed) so\n\
+         class assignment agrees with the stream's generator."
     );
 }
 
@@ -67,6 +74,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         netem: None,
         marketplace: None,
         pricing: None,
+        scenario: None,
+        scenario_seed: None,
         metrics: false,
     };
     let mut it = args.iter();
@@ -105,6 +114,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--netem" => o.netem = Some(value.clone()),
             "--marketplace" => o.marketplace = Some(value.clone()),
             "--pricing" => o.pricing = Some(value.clone()),
+            "--scenario" => o.scenario = Some(value.clone()),
+            "--scenario-seed" => {
+                o.scenario_seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad --scenario-seed `{value}`"))?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -143,6 +160,21 @@ fn build_config(o: &Opts) -> Result<SystemConfig, String> {
             return Err("--pricing requires a --marketplace regime other than `off`".into());
         }
         cfg.marketplace.pricing = PricingRule::parse(p)?;
+    }
+    if let Some(name) = &o.scenario {
+        let spec = ScenarioSpec::parse_preset(name)?;
+        // Class/region assignment keys on the *trace* seed: the stream
+        // was generated by tracegen with its own seed, which the caller
+        // echoes here (defaulting to the config seed for the common
+        // same-seed pipeline). An explicit --netem wins over the
+        // scenario's binding, mirroring the batch `simulate` CLI.
+        let explicit_netem = o.netem.is_some().then(|| cfg.netem.clone());
+        spec.apply_to(&mut cfg, o.scenario_seed.unwrap_or(o.seed));
+        if let Some(netem) = explicit_netem {
+            cfg.netem = netem;
+        }
+    } else if o.scenario_seed.is_some() {
+        return Err("--scenario-seed requires --scenario".into());
     }
     Ok(cfg)
 }

@@ -27,5 +27,7 @@
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{write_events, write_header, IngestError, Parser, SlotEvent, StreamHeader};
+pub use protocol::{
+    write_events, write_events_paced, write_header, IngestError, Parser, SlotEvent, StreamHeader,
+};
 pub use server::{serve, ServeError, ServeOptions, ServeOutcome, DECISION_LATENCY_METRIC};

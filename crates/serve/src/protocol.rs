@@ -269,6 +269,50 @@ pub fn write_events<W: Write>(
     Ok(())
 }
 
+/// [`write_events`] throttled to `events_per_sec` (wall clock): the
+/// sub-saturation load generator. An unpaced pipe saturates the server's
+/// ingest, which measures peak throughput but keeps every decision queue
+/// hot; pacing below capacity is what lets SLA-style latency columns
+/// measure scheduling rather than backlog. The writer is flushed before
+/// every sleep so the receiver observes the pace, not buffered bursts.
+///
+/// The emitted bytes are identical to [`write_events`] — pacing changes
+/// only the wall-clock shape of the stream, never its content, so a
+/// paced replay reproduces the same report hash.
+///
+/// # Panics
+///
+/// Panics if `events_per_sec` is not positive and finite.
+pub fn write_events_paced<W: Write>(
+    trace: &Trace,
+    refresh: SimDuration,
+    events_per_sec: f64,
+    w: &mut W,
+) -> std::io::Result<()> {
+    assert!(
+        events_per_sec.is_finite() && events_per_sec > 0.0,
+        "pace must be positive, got {events_per_sec}"
+    );
+    write_header(w, trace.num_users(), trace.horizon().as_millis())?;
+    let t0 = std::time::Instant::now();
+    for (i, s) in trace.ad_slots(refresh).iter().enumerate() {
+        let due = std::time::Duration::from_secs_f64(i as f64 / events_per_sec);
+        let elapsed = t0.elapsed();
+        if due > elapsed {
+            w.flush()?;
+            std::thread::sleep(due - elapsed);
+        }
+        writeln!(
+            w,
+            "{EVENT_TAG},{},{},{}",
+            s.time.as_millis(),
+            s.user.0,
+            s.app.0
+        )?;
+    }
+    Ok(())
+}
+
 /// Writes just the stream header line.
 pub fn write_header<W: Write>(w: &mut W, users: u32, horizon_ms: u64) -> std::io::Result<()> {
     writeln!(w, "{HEADER_PREFIX}users={users},horizon_ms={horizon_ms}")
@@ -410,6 +454,19 @@ mod tests {
             }
         }
         assert_eq!(events, trace.ad_slots(refresh).len());
+    }
+
+    #[test]
+    fn paced_writer_emits_identical_bytes() {
+        // Pacing shapes wall-clock emission only; a rate high enough to
+        // never sleep must still produce the exact unpaced stream.
+        let trace = PopulationConfig::small_test(5).generate();
+        let refresh = SimDuration::from_secs(30);
+        let mut plain = Vec::new();
+        write_events(&trace, refresh, &mut plain).unwrap();
+        let mut paced = Vec::new();
+        write_events_paced(&trace, refresh, 1e9, &mut paced).unwrap();
+        assert_eq!(plain, paced);
     }
 
     #[test]
